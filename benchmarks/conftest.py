@@ -1,0 +1,45 @@
+"""Shared infrastructure for the figure-reproduction benches.
+
+Each bench regenerates one table/figure of the paper at the suite's
+default scales, prints it, saves it under ``benchmarks/results/`` (the
+files EXPERIMENTS.md quotes), and asserts the qualitative shape the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """``report(name, text)`` — print a table and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def column(headers, rows, name):
+    """Extract one column (by header) from per-benchmark rows only."""
+    index = list(headers).index(name)
+    return [
+        row[index]
+        for row in rows
+        if row[0] not in ("average", "median")
+    ]
+
+
+def summary_row(rows, label):
+    for row in rows:
+        if row[0] == label:
+            return row
+    raise AssertionError(f"no {label!r} row")

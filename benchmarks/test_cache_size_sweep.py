@@ -1,0 +1,75 @@
+"""Ablation — cache-size sweep: where Compressed's capacity edge closes.
+
+The paper's Figure 13 sits at one cache size; this sweep shows the
+mechanism behind it: at small caches the Compressed organization wins on
+effective capacity, and as the cache grows toward holding the whole
+uncompressed image the schemes converge (Base catches up, the
+decompressor's hit-path cost remains).
+"""
+
+from repro.core.study import study_for
+from repro.fetch.config import CacheGeometry, FetchConfig
+from repro.fetch.engine import simulate_fetch
+from repro.utils.tables import format_table
+
+#: (base geometry, tailored/compressed geometry) per sweep point; the
+#: paper's 20:16 pairing at every size.
+SWEEP = [
+    (CacheGeometry("base", 640, 2, 40),
+     CacheGeometry("small", 512, 2, 32)),
+    (CacheGeometry("base", 1280, 2, 40),
+     CacheGeometry("small", 1024, 2, 32)),
+    (CacheGeometry("base", 2560, 2, 40),
+     CacheGeometry("small", 2048, 2, 32)),
+    (CacheGeometry("base", 4 * 1280, 2, 40),
+     CacheGeometry("small", 4 * 1024, 2, 32)),
+    (CacheGeometry("base", 20 * 1024, 2, 40),
+     CacheGeometry("small", 16 * 1024, 2, 32)),
+]
+
+
+def _sweep(benchmark_name="compress"):
+    study = study_for(benchmark_name)
+    trace = study.run.block_trace
+    rows = []
+    for base_geo, other_geo in SWEEP:
+        base = simulate_fetch(
+            study.compressed("base"), trace,
+            FetchConfig(scheme="base", cache=base_geo),
+        )
+        tailored = simulate_fetch(
+            study.compressed("tailored"), trace,
+            FetchConfig(scheme="tailored", cache=other_geo),
+        )
+        comp = simulate_fetch(
+            study.compressed("full"), trace,
+            FetchConfig(scheme="compressed", cache=other_geo),
+        )
+        rows.append(
+            [f"{base_geo.capacity_bytes}B/{other_geo.capacity_bytes}B",
+             base.ipc, tailored.ipc, comp.ipc,
+             100.0 * base.cache_hit_rate]
+        )
+    return rows
+
+
+def test_cache_size_sweep(benchmark, report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        "cache_size_sweep",
+        format_table(
+            ["caches", "base_ipc", "tailored_ipc", "compressed_ipc",
+             "base_hit%"],
+            rows,
+            title="Cache size sweep (compress): capacity crossover",
+        ),
+    )
+    # Base improves monotonically-ish with cache size and converges.
+    base_ipcs = [r[1] for r in rows]
+    assert base_ipcs[-1] >= base_ipcs[0]
+    # At the smallest cache the compressed scheme beats Base...
+    assert rows[0][3] > rows[0][1]
+    # ...and at the paper-size cache the whole image fits: schemes are
+    # within a few percent of one another.
+    top = rows[-1]
+    assert abs(top[1] - top[3]) / top[1] < 0.10

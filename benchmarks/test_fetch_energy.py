@@ -1,0 +1,58 @@
+"""Extension — fetch-path access energy (the Section 4 filter-cache claim).
+
+"The buffer cache filters out power-consuming accesses to the larger L1
+cache": under the Compressed organization, L0 hits replace L1 array
+reads, and the compressed ROM cuts line-fill and bus energy.  This bench
+evaluates the access-energy model over the Figure 13 simulations.
+"""
+
+from repro.core.study import study_for
+from repro.fetch.config import FetchConfig
+from repro.power.cache_energy import fetch_energy
+from repro.programs.suite import BENCHMARK_NAMES
+from repro.utils.tables import format_table
+
+
+def _rows():
+    rows = []
+    for name in BENCHMARK_NAMES:
+        study = study_for(name)
+        base = fetch_energy(
+            study.fetch_metrics("base"),
+            FetchConfig.for_scheme("base", scaled=True),
+        )
+        comp = fetch_energy(
+            study.fetch_metrics("compressed"),
+            FetchConfig.for_scheme("compressed", scaled=True),
+        )
+        blocks = study.fetch_metrics("base").blocks_fetched
+        rows.append(
+            [
+                name,
+                base.total / max(1, blocks),
+                comp.total / max(1, blocks),
+                100.0 * comp.total / max(1e-9, base.total),
+                100.0 * comp.l0_energy / max(1e-9, comp.total),
+            ]
+        )
+    return rows
+
+
+def test_fetch_energy(benchmark, report):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report(
+        "ext_fetch_energy",
+        format_table(
+            ["benchmark", "base_E/block", "compressed_E/block",
+             "compressed_%of_base", "L0_share%"],
+            rows,
+            title="Extension: fetch access energy "
+                  "(filter-cache effect of the L0 buffer)",
+        ),
+    )
+    for name, base_e, comp_e, pct, l0_share in rows:
+        assert base_e > 0 and comp_e > 0
+        # Compression + L0 filtering must reduce fetch energy.
+        assert pct < 100.0, name
+    average = sum(r[3] for r in rows) / len(rows)
+    assert average < 90.0

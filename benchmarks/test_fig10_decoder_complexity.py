@@ -1,0 +1,42 @@
+"""Figure 10 — Huffman decoder complexity (the paper's transistor model).
+
+Expected shape: "The best compression algorithm (Huffman Full) yields
+the largest decoder size...  Byte-wise compression yields an
+intermediate degree of code size yet has the smallest decoder", with
+stream decoders in between (sum over their per-stream trees).
+"""
+
+from conftest import column, summary_row
+
+from repro.compression.decoder_cost import PRACTICAL_DECODER_TRANSISTORS
+from repro.core.experiments import fig10_decoder_rows
+from repro.utils.tables import format_table
+
+
+def test_fig10_decoder_complexity(benchmark, report):
+    headers, rows = benchmark.pedantic(
+        fig10_decoder_rows, rounds=1, iterations=1
+    )
+    report(
+        "fig10_decoder_complexity",
+        format_table(
+            headers, rows,
+            title="Figure 10: worst-case Huffman decoder transistors",
+        ),
+    )
+    average = summary_row(rows, "average")
+    byte_avg = average[headers.index("byte")]
+    full_avg = average[headers.index("full")]
+    stream_avg = average[headers.index("stream")]
+    # Figure 10's ordering: full largest; byte small (limited input
+    # width and dictionary size); streams add up to more than byte.
+    assert full_avg > stream_avg
+    assert full_avg > byte_avg
+    for full, byte in zip(
+        column(headers, rows, "full"), column(headers, rows, "byte")
+    ):
+        assert full > byte
+    # Sanity against the practical implementations the paper cites
+    # (10k-28k transistors): same order of magnitude.
+    low, high = PRACTICAL_DECODER_TRANSISTORS
+    assert full_avg < high * 50

@@ -1,0 +1,35 @@
+"""Figure 14 — Memory Bus Bit Flips Summary.
+
+Paper: "The results track the degree of compression and show savings
+for Tailored and Compressed over Base.  This is because each of the
+compression schemes brings in more instructions for a given number of
+bit flips."  Expected shape: Compressed ≪ Tailored < Base.
+"""
+
+from conftest import column, summary_row
+
+from repro.core.experiments import fig14_busflip_rows
+from repro.utils.tables import format_table
+
+
+def test_fig14_bus_flips(benchmark, report):
+    headers, rows = benchmark.pedantic(
+        fig14_busflip_rows, rounds=1, iterations=1
+    )
+    report(
+        "fig14_bus_flips",
+        format_table(
+            headers, rows,
+            title="Figure 14: memory-bus bit flips (Base = 100)",
+        ),
+    )
+    average = summary_row(rows, "average")
+    tailored = average[headers.index("tailored%of_base")]
+    compressed = average[headers.index("compressed%of_base")]
+    # Savings track the degree of compression.
+    assert compressed < tailored < 100.0
+    for t, c in zip(
+        column(headers, rows, "tailored%of_base"),
+        column(headers, rows, "compressed%of_base"),
+    ):
+        assert c <= t * 1.05  # compressed saves at least as much

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Embedded-system design-space exploration with the full toolchain.
+
+A systems engineer picking an encoding for a new ASIC wants, per
+candidate scheme: ROM size (code + translation table + dictionaries),
+delivered IPC at several ICache budgets, decoder area, and bus energy.
+This script produces that decision table for one firmware workload —
+the kind of co-design sweep the paper argues the compiler should drive.
+
+Run:  python examples/design_space.py [benchmark]
+"""
+
+import sys
+
+from repro.compression.decoder_cost import scheme_decoder_cost
+from repro.core.study import study_for
+from repro.fetch.atb import att_bytes, total_rom_bytes
+from repro.fetch.config import CacheGeometry, FetchConfig
+from repro.fetch.engine import simulate_fetch
+from repro.programs.suite import BENCHMARK_NAMES
+from repro.tailored.verilog import estimated_decoder_transistors
+from repro.utils.tables import format_table
+
+#: ICache budgets to sweep (base uses the paper's 40B lines, 5:4 sizing).
+CACHE_POINTS = [
+    ("tiny", CacheGeometry("base", 640, 2, 40),
+     CacheGeometry("c", 512, 2, 32)),
+    ("small", CacheGeometry("base", 1280, 2, 40),
+     CacheGeometry("c", 1024, 2, 32)),
+    ("roomy", CacheGeometry("base", 2560, 2, 40),
+     CacheGeometry("c", 2048, 2, 32)),
+]
+
+
+def main(benchmark: str = "perl") -> None:
+    if benchmark not in BENCHMARK_NAMES:
+        raise SystemExit(f"pick one of {', '.join(BENCHMARK_NAMES)}")
+    study = study_for(benchmark)
+    assert study.verify_checksum(), "emulation diverged from the oracle"
+    trace = study.run.block_trace
+    baseline_bytes = study.compiled.image.baseline_code_bytes
+
+    rows = []
+    for scheme, image_key in (
+        ("base", "base"), ("tailored", "tailored"), ("compressed", "full"),
+    ):
+        compressed = study.compressed(image_key)
+        geometry = FetchConfig.for_scheme(scheme).cache
+        rom = total_rom_bytes(compressed, geometry)
+        if scheme == "base":
+            rom = compressed.total_code_bytes  # no ATT/dictionaries
+            decoder = 0
+        elif scheme == "tailored":
+            decoder = estimated_decoder_transistors(compressed.spec)
+        else:
+            decoder = scheme_decoder_cost(compressed).transistors
+        ipcs = []
+        flips = None
+        for _, base_geo, other_geo in CACHE_POINTS:
+            geometry = base_geo if scheme == "base" else other_geo
+            metrics = simulate_fetch(
+                compressed, trace,
+                FetchConfig(scheme=scheme, cache=geometry),
+            )
+            ipcs.append(metrics.ipc)
+            flips = metrics.bus_bit_flips  # keep the largest cache's
+        rows.append(
+            [
+                scheme,
+                rom,
+                100.0 * rom / baseline_bytes,
+                decoder,
+                *ipcs,
+                flips,
+            ]
+        )
+
+    headers = [
+        "scheme", "ROM bytes", "ROM %", "decoder T",
+        *(f"IPC@{name}" for name, _, _ in CACHE_POINTS),
+        "bus flips",
+    ]
+    print(
+        format_table(
+            headers, rows,
+            title=f"Design space for {benchmark!r} "
+                  f"(baseline image {baseline_bytes} B)",
+        )
+    )
+    print()
+    print(
+        "Reading the table: Tailored needs no Huffman decoder and keeps\n"
+        "the best IPC; Full-op compression minimizes ROM and bus energy\n"
+        "at the price of the largest decoder — the paper's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "perl")

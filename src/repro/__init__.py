@@ -1,0 +1,47 @@
+"""repro — Compiler-Driven Cached Code Compression for Embedded ILP
+Processors.
+
+A from-scratch Python reproduction of Larin & Conte (MICRO 1999): the
+TEPIC 40-bit EPIC ISA, an optimizing VLIW compiler, an emulator, the
+Huffman (byte / stream / whole-op) and tailored-ISA encoders, the banked
+ICache + ATB + L0-buffer fetch organizations with the paper's Table 1
+cycle model, and the experiment layer regenerating every figure of the
+evaluation.
+
+Quick tour::
+
+    from repro.core.study import study_for
+
+    study = study_for("compress")        # compile + emulate (cached)
+    study.verify_checksum()              # matches the Python oracle
+    study.compressed("full").ratio_percent()   # Figure 5 data point
+    study.fetch_metrics("tailored").ipc        # Figure 13 data point
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+from repro.errors import (
+    CompilerError,
+    CompressionError,
+    ConfigurationError,
+    DecodingError,
+    EmulationError,
+    EncodingError,
+    ReproError,
+    ScheduleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerError",
+    "CompressionError",
+    "ConfigurationError",
+    "DecodingError",
+    "EmulationError",
+    "EncodingError",
+    "ReproError",
+    "ScheduleError",
+    "__version__",
+]

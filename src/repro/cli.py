@@ -1,0 +1,94 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig5
+    python -m repro run fig13 --benchmarks compress go --scale 4
+    python -m repro suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiments import EXPERIMENTS
+from repro.core.study import study_for
+from repro.programs.suite import BENCHMARK_NAMES, SUITE
+from repro.utils.tables import format_table
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [e.exp_id, e.title, e.bench] for e in EXPERIMENTS.values()
+    ]
+    print(format_table(["id", "title", "bench"], rows,
+                       title="Experiments"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        experiment = EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    headers, rows = experiment.runner(
+        args.benchmarks or None, args.scale
+    )
+    print(format_table(headers, rows, title=experiment.title))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        study = study_for(name, args.scale)
+        image = study.compiled.image
+        ok = study.verify_checksum()
+        rows.append(
+            [
+                name,
+                SUITE[name].description,
+                image.total_ops,
+                study.run.dynamic_mops,
+                "ok" if ok else "MISMATCH",
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "description", "static ops", "dynamic mops",
+             "oracle"],
+            rows,
+            title="Benchmark suite",
+        )
+    )
+    return 0 if all(r[-1] == "ok" for r in rows) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Larin & Conte (MICRO 1999) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="fig5|fig7|fig10|fig13|fig14")
+    run.add_argument("--benchmarks", nargs="*", default=None)
+    run.add_argument("--scale", type=int, default=None)
+    suite = sub.add_parser("suite", help="compile, run and verify the "
+                                          "whole benchmark suite")
+    suite.add_argument("--scale", type=int, default=None)
+    args = parser.parse_args(argv)
+    return {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "suite": _cmd_suite,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""The assembler: scheduled machine code → a laid-out program image.
+
+Assigns block ids in layout order (entry function first), resolves
+branch labels and call targets to block ids, groups scheduled packets
+into :class:`~repro.isa.multiop.MultiOp`, and records fallthrough edges
+the emulator and fetch simulators rely on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilerError
+from repro.compiler.machine import MFunction, MInstr, MModule
+from repro.isa.image import BasicBlockImage, ProgramImage
+from repro.isa.multiop import MultiOp
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import TRUE_PREDICATE
+
+
+def _block_ids(module: MModule) -> tuple[dict[str, dict[str, int]], dict[str, int]]:
+    """Per-function label→id maps and function→entry-id map."""
+    label_ids: dict[str, dict[str, int]] = {}
+    entry_ids: dict[str, int] = {}
+    next_id = 0
+    for func in module.functions:
+        per_func: dict[str, int] = {}
+        for block in func.blocks:
+            per_func[block.label] = next_id
+            next_id += 1
+        label_ids[func.name] = per_func
+        entry_ids[func.name] = per_func[func.blocks[0].label]
+    return label_ids, entry_ids
+
+
+def _resolve_target(
+    instr: MInstr,
+    func: MFunction,
+    labels: dict[str, dict[str, int]],
+    entries: dict[str, int],
+) -> int | None:
+    if instr.opcode is Opcode.BR:
+        if instr.target_label is None:
+            raise CompilerError("BR without a target label")
+        try:
+            return labels[func.name][instr.target_label]
+        except KeyError:
+            raise CompilerError(
+                f"{func.name}: unresolved label {instr.target_label!r}"
+            ) from None
+    if instr.opcode is Opcode.CALL:
+        if instr.target_function is None:
+            raise CompilerError("CALL without a target function")
+        try:
+            return entries[instr.target_function]
+        except KeyError:
+            raise CompilerError(
+                f"{func.name}: call to unknown function "
+                f"{instr.target_function!r}"
+            ) from None
+    return None
+
+
+def assemble(module: MModule) -> ProgramImage:
+    """Produce the final :class:`~repro.isa.image.ProgramImage`."""
+    labels, entries = _block_ids(module)
+    blocks: list[BasicBlockImage] = []
+    for func in module.functions:
+        n = len(func.blocks)
+        for i, mblock in enumerate(func.blocks):
+            if mblock.schedule is None:
+                raise CompilerError(
+                    f"{func.name}/{mblock.label}: block was not scheduled"
+                )
+            block_id = labels[func.name][mblock.label]
+            mops = []
+            for packet in mblock.schedule:
+                ops = [
+                    instr.to_operation(
+                        _resolve_target(instr, func, labels, entries)
+                    )
+                    for instr in packet
+                ]
+                mops.append(MultiOp.of(ops))
+            fallthrough = _fallthrough_id(func, i, labels)
+            blocks.append(
+                BasicBlockImage(
+                    block_id=block_id,
+                    label=f"{func.name}/{mblock.label}",
+                    mops=tuple(mops),
+                    fallthrough=fallthrough,
+                    function=func.name,
+                )
+            )
+    entry_block = entries[module.entry]
+    return ProgramImage(module.name, blocks, entry_block=entry_block)
+
+
+def _fallthrough_id(
+    func: MFunction, index: int, labels: dict[str, dict[str, int]]
+) -> int | None:
+    mblock = func.blocks[index]
+    term = mblock.terminator
+    needs_fallthrough = (
+        term is None
+        or term.opcode is Opcode.CALL
+        or (term.opcode is Opcode.BR and term.predicate != TRUE_PREDICATE)
+    )
+    if not needs_fallthrough:
+        return None
+    if index + 1 >= len(func.blocks):
+        raise CompilerError(
+            f"{func.name}/{mblock.label}: needs a fallthrough block but is "
+            "last in its function"
+        )
+    return labels[func.name][func.blocks[index + 1].label]

@@ -1,0 +1,486 @@
+"""Convenience builders for writing IR programs.
+
+The benchmark programs in :mod:`repro.programs` are written against this
+API.  A :class:`ModuleBuilder` owns global data layout; a
+:class:`FunctionBuilder` appends instructions to the current basic block
+and manages labels, virtual registers, wide constants and the
+argument/return pseudo ops.
+
+Data memory layout (the emulator enforces the same constants):
+
+* globals are allocated upward from :data:`DATA_BASE`;
+* the stack grows downward from :data:`STACK_TOP`;
+* integers are 4-byte words, floats 8-byte doubles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import CompilerError
+from repro.compiler.ir import (
+    GlobalData,
+    IRArgLoad,
+    IRBlock,
+    IRBranch,
+    IRCall,
+    IRFunction,
+    IRHalt,
+    IRInstr,
+    IRJump,
+    IRLoadRet,
+    IRModule,
+    IROp,
+    IRReturn,
+    IRStoreArg,
+    IRStoreRet,
+    Operand,
+    RegClass,
+    VReg,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import (
+    BHWX_DOUBLE,
+    BHWX_WORD,
+    IMM_MAX,
+    IMM_MIN,
+)
+
+#: Size of the emulated data memory in bytes.
+MEMORY_BYTES = 1 << 19  # 512 KB
+
+#: First byte address handed out to global data.
+DATA_BASE = 0x20000
+
+#: Initial stack pointer (stack grows down).
+STACK_TOP = MEMORY_BYTES - 16
+
+#: Bytes per integer word / per float double.
+WORD_BYTES = 4
+DOUBLE_BYTES = 8
+
+
+class ModuleBuilder:
+    """Builds an :class:`~repro.compiler.ir.IRModule`."""
+
+    def __init__(self, name: str) -> None:
+        self.module = IRModule(name)
+        self._data_cursor = DATA_BASE
+
+    def global_array(
+        self,
+        name: str,
+        words: int,
+        init: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Allocate ``words`` 4-byte words of global data; returns address."""
+        if name in self.module.globals:
+            raise CompilerError(f"global {name!r} already defined")
+        if words <= 0:
+            raise CompilerError(f"global {name!r} has size {words}")
+        init_words = tuple(init or ())
+        if len(init_words) > words:
+            raise CompilerError(f"global {name!r}: too many initializers")
+        size = words * WORD_BYTES
+        address = self._data_cursor
+        if address + size > STACK_TOP - (1 << 16):
+            raise CompilerError("global data would collide with the stack")
+        self._data_cursor += size
+        # Keep doubles addressable: align every region to 8 bytes.
+        self._data_cursor = (self._data_cursor + 7) & ~7
+        self.module.globals[name] = GlobalData(
+            name, size, address, init_words
+        )
+        return address
+
+    def address_of(self, name: str) -> int:
+        return self.module.globals[name].address
+
+    def function(self, name: str, num_args: int = 0) -> "FunctionBuilder":
+        if name in self.module.functions:
+            raise CompilerError(f"function {name!r} already defined")
+        func = IRFunction(name, num_args)
+        self.module.functions[name] = func
+        return FunctionBuilder(self, func)
+
+    def build(self) -> IRModule:
+        self.module.validate()
+        return self.module
+
+
+class FunctionBuilder:
+    """Appends IR to one function, block by block."""
+
+    def __init__(self, parent: ModuleBuilder, func: IRFunction) -> None:
+        self._parent = parent
+        self.func = func
+        self._current: Optional[IRBlock] = None
+        self._auto_label = 0
+        self._args: list[VReg] = []
+        self.label(f"{func.name}__entry")
+        for i in range(func.num_args):
+            arg = self.ireg()
+            self._emit(IRArgLoad(dest=arg, index=i))
+            self._args.append(arg)
+
+    # ----------------------------------------------------------- registers
+    def ireg(self) -> VReg:
+        return self.func.new_vreg(RegClass.INT)
+
+    def freg(self) -> VReg:
+        return self.func.new_vreg(RegClass.FLOAT)
+
+    def preg(self) -> VReg:
+        return self.func.new_vreg(RegClass.PRED)
+
+    def arg(self, index: int) -> VReg:
+        """The virtual register holding incoming argument ``index``."""
+        return self._args[index]
+
+    # -------------------------------------------------------------- blocks
+    def label(self, name: str) -> None:
+        """Begin a new basic block (fallthrough from the previous one)."""
+        if name in self.func.labels:
+            raise CompilerError(
+                f"{self.func.name}: duplicate label {name!r}"
+            )
+        block = IRBlock(label=name)
+        self.func.blocks.append(block)
+        self._current = block
+
+    def _fresh_label(self, hint: str) -> str:
+        self._auto_label += 1
+        return f"{self.func.name}__{hint}{self._auto_label}"
+
+    def _emit(self, instr: IRInstr) -> None:
+        block = self._current
+        if block is None or block.terminator is not None:
+            raise CompilerError(
+                f"{self.func.name}: emitting into a closed block; add a "
+                "label first"
+            )
+        block.instrs.append(instr)
+
+    def _terminate(self, instr: IRInstr) -> None:
+        block = self._current
+        if block is None or block.terminator is not None:
+            raise CompilerError(
+                f"{self.func.name}: block already terminated"
+            )
+        block.terminator = instr
+
+    # ------------------------------------------------------- constants
+    def li(self, dest: VReg, value: int) -> None:
+        """Load an integer constant of any 32-bit magnitude."""
+        if IMM_MIN <= value <= IMM_MAX:
+            self._emit(IROp(Opcode.LDI, dest=dest, imm=value))
+            return
+        if not -(1 << 31) <= value < (1 << 32):
+            raise CompilerError(f"constant {value} exceeds 32 bits")
+        # Wide constant: build from a 16-bit-shifted upper part and OR in
+        # the low 16 bits (each half fits the 20-bit LDI field).
+        unsigned = value & 0xFFFFFFFF
+        high = unsigned >> 16
+        low = unsigned & 0xFFFF
+        tmp = self.ireg()
+        self._emit(IROp(Opcode.LDI, dest=dest, imm=high))
+        self._emit(IROp(Opcode.LDI, dest=tmp, imm=16))
+        self._emit(IROp(Opcode.SHL, dest=dest, src1=dest, src2=tmp))
+        self._emit(IROp(Opcode.LDI, dest=tmp, imm=low))
+        self._emit(IROp(Opcode.OR, dest=dest, src1=dest, src2=tmp))
+
+    def iconst(self, value: int) -> VReg:
+        reg = self.ireg()
+        self.li(reg, value)
+        return reg
+
+    def la(self, dest: VReg, global_name: str) -> None:
+        """Load the address of a global."""
+        self.li(dest, self._parent.address_of(global_name))
+
+    # ------------------------------------------------------- integer ALU
+    def _binop(
+        self,
+        opcode: Opcode,
+        dest: VReg,
+        src1: VReg,
+        src2: VReg,
+        predicate: Optional[VReg] = None,
+    ) -> None:
+        self._emit(
+            IROp(opcode, dest=dest, src1=src1, src2=src2,
+                 predicate=predicate)
+        )
+
+    def add(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.ADD, d, a, b)
+
+    def sub(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.SUB, d, a, b)
+
+    def mpy(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.MPY, d, a, b)
+
+    def div(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.DIV, d, a, b)
+
+    def mod(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.MOD, d, a, b)
+
+    def and_(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.AND, d, a, b)
+
+    def or_(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.OR, d, a, b)
+
+    def xor(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.XOR, d, a, b)
+
+    def shl(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.SHL, d, a, b)
+
+    def shr(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.SHR, d, a, b)
+
+    def sra(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.SRA, d, a, b)
+
+    def min_(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.MIN, d, a, b)
+
+    def max_(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.MAX, d, a, b)
+
+    def mov(self, d: VReg, a: VReg, predicate: Optional[VReg] = None) -> None:
+        self._emit(IROp(Opcode.MOV, dest=d, src1=a, predicate=predicate))
+
+    def abs_(self, d: VReg, a: VReg) -> None:
+        self._emit(IROp(Opcode.ABS, dest=d, src1=a))
+
+    def not_(self, d: VReg, a: VReg) -> None:
+        self._emit(IROp(Opcode.NOT, dest=d, src1=a))
+
+    # Immediate-operand conveniences (materialize the constant).
+    def _binop_imm(
+        self, opcode: Opcode, d: VReg, a: VReg, imm: int
+    ) -> None:
+        tmp = self.iconst(imm)
+        self._binop(opcode, d, a, tmp)
+
+    def addi(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.ADD, d, a, imm)
+
+    def subi(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.SUB, d, a, imm)
+
+    def mpyi(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.MPY, d, a, imm)
+
+    def andi(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.AND, d, a, imm)
+
+    def ori(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.OR, d, a, imm)
+
+    def xori(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.XOR, d, a, imm)
+
+    def shli(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.SHL, d, a, imm)
+
+    def shri(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.SHR, d, a, imm)
+
+    def srai(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.SRA, d, a, imm)
+
+    def modi(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.MOD, d, a, imm)
+
+    def divi(self, d: VReg, a: VReg, imm: int) -> None:
+        self._binop_imm(Opcode.DIV, d, a, imm)
+
+    # ---------------------------------------------------------- compares
+    def _cmp(self, opcode: Opcode, p: VReg, a: VReg, b: VReg) -> None:
+        self._emit(IROp(opcode, dest=p, src1=a, src2=b))
+
+    def cmp_eq(self, p: VReg, a: VReg, b: VReg) -> None:
+        self._cmp(Opcode.CMPP_EQ, p, a, b)
+
+    def cmp_ne(self, p: VReg, a: VReg, b: VReg) -> None:
+        self._cmp(Opcode.CMPP_NE, p, a, b)
+
+    def cmp_lt(self, p: VReg, a: VReg, b: VReg) -> None:
+        self._cmp(Opcode.CMPP_LT, p, a, b)
+
+    def cmp_le(self, p: VReg, a: VReg, b: VReg) -> None:
+        self._cmp(Opcode.CMPP_LE, p, a, b)
+
+    def cmp_gt(self, p: VReg, a: VReg, b: VReg) -> None:
+        self._cmp(Opcode.CMPP_GT, p, a, b)
+
+    def cmp_ge(self, p: VReg, a: VReg, b: VReg) -> None:
+        self._cmp(Opcode.CMPP_GE, p, a, b)
+
+    def _cmp_imm(self, opcode: Opcode, p: VReg, a: VReg, imm: int) -> None:
+        tmp = self.iconst(imm)
+        self._cmp(opcode, p, a, tmp)
+
+    def cmpi_eq(self, p: VReg, a: VReg, imm: int) -> None:
+        self._cmp_imm(Opcode.CMPP_EQ, p, a, imm)
+
+    def cmpi_ne(self, p: VReg, a: VReg, imm: int) -> None:
+        self._cmp_imm(Opcode.CMPP_NE, p, a, imm)
+
+    def cmpi_lt(self, p: VReg, a: VReg, imm: int) -> None:
+        self._cmp_imm(Opcode.CMPP_LT, p, a, imm)
+
+    def cmpi_le(self, p: VReg, a: VReg, imm: int) -> None:
+        self._cmp_imm(Opcode.CMPP_LE, p, a, imm)
+
+    def cmpi_gt(self, p: VReg, a: VReg, imm: int) -> None:
+        self._cmp_imm(Opcode.CMPP_GT, p, a, imm)
+
+    def cmpi_ge(self, p: VReg, a: VReg, imm: int) -> None:
+        self._cmp_imm(Opcode.CMPP_GE, p, a, imm)
+
+    def select(self, d: VReg, p: VReg, if_true: VReg, if_false: VReg) -> None:
+        """``d = p ? if_true : if_false`` using a predicated move."""
+        self.mov(d, if_false)
+        self.mov(d, if_true, predicate=p)
+
+    # ------------------------------------------------------------- memory
+    def load(self, dest: VReg, addr: VReg) -> None:
+        """Load a 4-byte integer word."""
+        self._emit(IROp(Opcode.LD, dest=dest, src1=addr, bhwx=BHWX_WORD))
+
+    def store(self, addr: VReg, value: VReg) -> None:
+        """Store a 4-byte integer word."""
+        self._emit(
+            IROp(Opcode.ST, src1=addr, src2=value, bhwx=BHWX_WORD)
+        )
+
+    def fload(self, dest: VReg, addr: VReg) -> None:
+        """Load an 8-byte double into an FP register."""
+        self._emit(IROp(Opcode.LD, dest=dest, src1=addr, bhwx=BHWX_DOUBLE))
+
+    def fstore(self, addr: VReg, value: VReg) -> None:
+        self._emit(
+            IROp(Opcode.ST, src1=addr, src2=value, bhwx=BHWX_DOUBLE)
+        )
+
+    def load_word(self, dest: VReg, base: VReg, word_index: int) -> None:
+        """Load ``base[word_index]`` (constant index)."""
+        addr = self.ireg()
+        self.addi(addr, base, word_index * WORD_BYTES)
+        self.load(dest, addr)
+
+    def store_word(self, base: VReg, word_index: int, value: VReg) -> None:
+        addr = self.ireg()
+        self.addi(addr, base, word_index * WORD_BYTES)
+        self.store(addr, value)
+
+    def index_addr(self, dest: VReg, base: VReg, index: VReg) -> None:
+        """``dest = base + 4*index`` — address of a word array element."""
+        scaled = self.ireg()
+        self.shli(scaled, index, 2)
+        self.add(dest, base, scaled)
+
+    def load_index(self, dest: VReg, base: VReg, index: VReg) -> None:
+        addr = self.ireg()
+        self.index_addr(addr, base, index)
+        self.load(dest, addr)
+
+    def store_index(self, base: VReg, index: VReg, value: VReg) -> None:
+        addr = self.ireg()
+        self.index_addr(addr, base, index)
+        self.store(addr, value)
+
+    # ----------------------------------------------------- floating point
+    def fadd(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.FADD, d, a, b)
+
+    def fsub(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.FSUB, d, a, b)
+
+    def fmpy(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.FMPY, d, a, b)
+
+    def fdiv(self, d: VReg, a: VReg, b: VReg) -> None:
+        self._binop(Opcode.FDIV, d, a, b)
+
+    def fabs_(self, d: VReg, a: VReg) -> None:
+        self._emit(IROp(Opcode.FABS, dest=d, src1=a))
+
+    def fmov(self, d: VReg, a: VReg) -> None:
+        self._emit(IROp(Opcode.FMOV, dest=d, src1=a))
+
+    def i2f(self, d: VReg, a: VReg) -> None:
+        self._emit(IROp(Opcode.I2F, dest=d, src1=a))
+
+    def f2i(self, d: VReg, a: VReg) -> None:
+        self._emit(IROp(Opcode.F2I, dest=d, src1=a))
+
+    # ------------------------------------------------------ control flow
+    def br_if(self, predicate: VReg, target: str) -> None:
+        """Branch to ``target`` when the predicate holds; else fall through.
+
+        Starts a new (auto-labeled) fallthrough block.
+        """
+        self._terminate(IRBranch(predicate=predicate, target=target))
+        self.label(self._fresh_label("ft"))
+
+    def jump(self, target: str) -> None:
+        self._terminate(IRJump(target=target))
+        self.label(self._fresh_label("dead"))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[VReg] = (),
+        ret: Optional[VReg] = None,
+    ) -> None:
+        """Call ``callee`` with ``args``; optionally receive ``ret``.
+
+        Calls end the basic block (the paper treats them as branches);
+        the continuation begins a fresh block where the return value is
+        picked up.
+        """
+        for i, src in enumerate(args):
+            self._emit(IRStoreArg(index=i, src=src))
+        self._terminate(IRCall(callee=callee))
+        self.label(self._fresh_label("ret"))
+        if ret is not None:
+            self._emit(IRLoadRet(dest=ret, callee_num_args=len(args)))
+
+    def ret(self, value: Optional[VReg] = None) -> None:
+        if value is not None:
+            self._emit(
+                IRStoreRet(src=value, num_args=self.func.num_args)
+            )
+        self._terminate(IRReturn())
+        self.label(self._fresh_label("dead"))
+
+    def halt(self) -> None:
+        self._terminate(IRHalt())
+        self.label(self._fresh_label("dead"))
+
+    def done(self) -> IRFunction:
+        """Finish the function: drop a trailing empty auto block."""
+        if self.func.blocks and self.func.blocks[-1].is_empty:
+            last = self.func.blocks[-1]
+            # Only safe when nothing can reach it.
+            referenced = any(
+                isinstance(t, (IRBranch, IRJump)) and t.target == last.label
+                for block in self.func.blocks
+                for t in [block.terminator]
+            )
+            prior = (
+                self.func.blocks[-2].terminator
+                if len(self.func.blocks) > 1
+                else None
+            )
+            falls_in = prior is None or isinstance(prior, (IRBranch, IRCall))
+            if not referenced and not falls_in:
+                self.func.blocks.pop()
+        return self.func

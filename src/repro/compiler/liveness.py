@@ -1,0 +1,71 @@
+"""Backward liveness dataflow over virtual registers.
+
+Used by the register allocator (live-interval construction) and by the
+treegion hoisting pass (is a destination live into other successors?).
+
+Predicated ops are conditional writes, so a predicated destination is
+*not* treated as a kill — the old value may survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.cfg import build_cfg
+from repro.compiler.ir import IRFunction, IRInstr, IROp, VReg
+
+
+def instr_uses(instr: IRInstr) -> tuple[VReg, ...]:
+    return tuple(r for r in instr.reads() if isinstance(r, VReg))
+
+
+def instr_defs(instr: IRInstr) -> tuple[VReg, ...]:
+    return tuple(r for r in instr.writes() if isinstance(r, VReg))
+
+
+def instr_kills(instr: IRInstr) -> tuple[VReg, ...]:
+    """Definitely-overwritten registers (predicated writes don't kill)."""
+    if isinstance(instr, IROp) and instr.predicate is not None:
+        return ()
+    return instr_defs(instr)
+
+
+@dataclass
+class LivenessResult:
+    """Per-block live-in/live-out sets of virtual registers."""
+
+    live_in: dict[str, set[VReg]]
+    live_out: dict[str, set[VReg]]
+
+
+def analyze_liveness(func: IRFunction) -> LivenessResult:
+    """Iterative backward may-liveness to a fixed point."""
+    cfg = build_cfg(func)
+    use: dict[str, set[VReg]] = {}
+    deff: dict[str, set[VReg]] = {}
+    for block in func.blocks:
+        upward: set[VReg] = set()
+        killed: set[VReg] = set()
+        for instr in block.all_instrs():
+            for r in instr_uses(instr):
+                if r not in killed:
+                    upward.add(r)
+            killed.update(instr_kills(instr))
+        use[block.label] = upward
+        deff[block.label] = killed
+    live_in = {b.label: set() for b in func.blocks}
+    live_out = {b.label: set() for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            label = block.label
+            out: set[VReg] = set()
+            for succ in cfg[label]:
+                out |= live_in[succ]
+            new_in = use[label] | (out - deff[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return LivenessResult(live_in=live_in, live_out=live_out)

@@ -1,0 +1,245 @@
+"""Lowering: pseudo ops → machine code, frames, calling convention.
+
+Runs after register allocation (frame sizes are known) and produces
+:class:`~repro.compiler.machine.MFunction` with only real TEPIC
+operations.
+
+Stack protocol (stack grows down; all slots 8 bytes so doubles fit):
+
+* A caller stores outgoing argument *i* at ``SP - 8*(i+1)`` and, after
+  the call returns, finds the return value at ``SP - 8*(nargs+1)``.
+* A callee's prologue drops SP by ``frame = 8*(nslots + nargs + 1)``;
+  its spill slot *j* then sits at ``SP + 8*j`` and incoming argument *i*
+  at ``SP + frame - 8*(i+1)`` — the very slots the caller wrote, now
+  protected inside the callee's frame.
+* The epilogue restores SP *before* storing the return value, so the
+  value lands below the caller's (restored) stack pointer where the
+  caller's ``IRLoadRet`` expects it.
+
+Register conventions come from :mod:`repro.compiler.regalloc`: ``r31`` is
+SP; ``r30`` is the addressing scratch this module may use (never
+``r28``/``r29``, which carry spilled values attached to the surrounding
+instruction).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilerError
+from repro.compiler.ir import (
+    IRArgLoad,
+    IRBlock,
+    IRBranch,
+    IRCall,
+    IRFunction,
+    IRHalt,
+    IRInstr,
+    IRJump,
+    IRLoadRet,
+    IRModule,
+    IROp,
+    IRReturn,
+    IRStoreArg,
+    IRStoreRet,
+)
+from repro.compiler.machine import MBlock, MFunction, MInstr, MModule
+from repro.compiler.regalloc import SP
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import BHWX_DOUBLE, BHWX_WORD
+from repro.isa.registers import Register, RegisterBank, TRUE_PREDICATE, gpr
+
+#: Bytes per stack slot (arguments, return values, spills).
+SLOT_BYTES = 8
+
+#: Scratch register lowering may use for address arithmetic.
+ADDR_SCRATCH = gpr(30)
+
+
+def frame_bytes(func: IRFunction) -> int:
+    """Total prologue SP adjustment for ``func``."""
+    return SLOT_BYTES * (func.num_spill_slots + func.num_args + 1)
+
+
+def _bhwx_for(reg: Register) -> int:
+    return BHWX_DOUBLE if reg.bank is RegisterBank.FPR else BHWX_WORD
+
+
+def _addr_below_sp(offset: int) -> list[MInstr]:
+    """``ADDR_SCRATCH = SP - offset``."""
+    return [
+        MInstr(Opcode.LDI, dest=ADDR_SCRATCH, imm=offset),
+        MInstr(Opcode.SUB, dest=ADDR_SCRATCH, src1=SP, src2=ADDR_SCRATCH),
+    ]
+
+
+def _addr_above_sp(offset: int) -> list[MInstr]:
+    """``ADDR_SCRATCH = SP + offset``."""
+    return [
+        MInstr(Opcode.LDI, dest=ADDR_SCRATCH, imm=offset),
+        MInstr(Opcode.ADD, dest=ADDR_SCRATCH, src1=SP, src2=ADDR_SCRATCH),
+    ]
+
+
+def _adjust_sp(opcode: Opcode, amount: int) -> list[MInstr]:
+    return [
+        MInstr(Opcode.LDI, dest=ADDR_SCRATCH, imm=amount),
+        MInstr(opcode, dest=SP, src1=SP, src2=ADDR_SCRATCH),
+    ]
+
+
+class _FunctionLowering:
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        self.frame = frame_bytes(func)
+
+    def lower(self) -> MFunction:
+        out = MFunction(
+            self.func.name, self.func.num_args, frame_bytes=self.frame
+        )
+        for i, block in enumerate(self.func.blocks):
+            mblock = MBlock(label=block.label)
+            if i == 0:
+                mblock.instrs.extend(_adjust_sp(Opcode.SUB, self.frame))
+            self._lower_body(block, mblock)
+            self._lower_terminator(block, mblock)
+            out.blocks.append(mblock)
+        return out
+
+    # ------------------------------------------------------------ body
+    def _lower_body(self, block: IRBlock, out: MBlock) -> None:
+        for instr in block.instrs:
+            if isinstance(instr, IRStoreRet):
+                continue  # handled with the return terminator
+            out.instrs.extend(self._lower_instr(instr))
+
+    def _lower_instr(self, instr: IRInstr) -> list[MInstr]:
+        if isinstance(instr, IROp):
+            return [self._lower_op(instr)]
+        if isinstance(instr, IRArgLoad):
+            dest = self._phys(instr.dest)
+            offset = self.frame - SLOT_BYTES * (instr.index + 1)
+            return [
+                *_addr_above_sp(offset),
+                MInstr(
+                    Opcode.LD,
+                    dest=dest,
+                    src1=ADDR_SCRATCH,
+                    bhwx=_bhwx_for(dest),
+                ),
+            ]
+        if isinstance(instr, IRStoreArg):
+            src = self._phys(instr.src)
+            offset = SLOT_BYTES * (instr.index + 1)
+            return [
+                *_addr_below_sp(offset),
+                MInstr(
+                    Opcode.ST,
+                    src1=ADDR_SCRATCH,
+                    src2=src,
+                    bhwx=_bhwx_for(src),
+                ),
+            ]
+        if isinstance(instr, IRLoadRet):
+            dest = self._phys(instr.dest)
+            offset = SLOT_BYTES * (instr.callee_num_args + 1)
+            return [
+                *_addr_below_sp(offset),
+                MInstr(
+                    Opcode.LD,
+                    dest=dest,
+                    src1=ADDR_SCRATCH,
+                    bhwx=_bhwx_for(dest),
+                ),
+            ]
+        raise CompilerError(f"cannot lower {instr!r}")
+
+    def _lower_op(self, op: IROp) -> MInstr:
+        return MInstr(
+            opcode=op.opcode,
+            dest=self._opt_phys(op.dest),
+            src1=self._opt_phys(op.src1),
+            src2=self._opt_phys(op.src2),
+            imm=op.imm,
+            predicate=(
+                self._phys(op.predicate)
+                if op.predicate is not None
+                else TRUE_PREDICATE
+            ),
+            bhwx=op.bhwx,
+            note=op.note,
+        )
+
+    def _phys(self, reg) -> Register:
+        if not isinstance(reg, Register):
+            raise CompilerError(
+                f"{self.func.name}: operand {reg!r} survived allocation"
+            )
+        return reg
+
+    def _opt_phys(self, reg):
+        return None if reg is None else self._phys(reg)
+
+    # ------------------------------------------------------ terminators
+    def _lower_terminator(self, block: IRBlock, out: MBlock) -> None:
+        term = block.terminator
+        if term is None:
+            return
+        if isinstance(term, IRBranch):
+            out.instrs.append(
+                MInstr(
+                    Opcode.BR,
+                    predicate=self._phys(term.predicate),
+                    target_label=term.target,
+                )
+            )
+        elif isinstance(term, IRJump):
+            out.instrs.append(MInstr(Opcode.BR, target_label=term.target))
+        elif isinstance(term, IRCall):
+            out.instrs.append(
+                MInstr(Opcode.CALL, target_function=term.callee)
+            )
+        elif isinstance(term, IRReturn):
+            out.instrs.extend(_adjust_sp(Opcode.ADD, self.frame))
+            store_ret = self._trailing_store_ret(block)
+            if store_ret is not None:
+                src = self._phys(store_ret.src)
+                offset = SLOT_BYTES * (store_ret.num_args + 1)
+                out.instrs.extend(_addr_below_sp(offset))
+                out.instrs.append(
+                    MInstr(
+                        Opcode.ST,
+                        src1=ADDR_SCRATCH,
+                        src2=src,
+                        bhwx=_bhwx_for(src),
+                    )
+                )
+            out.instrs.append(MInstr(Opcode.RET))
+        elif isinstance(term, IRHalt):
+            out.instrs.append(MInstr(Opcode.HALT))
+        else:
+            raise CompilerError(f"unknown terminator {term!r}")
+
+    def _trailing_store_ret(self, block: IRBlock):
+        store_rets = [
+            i for i in block.instrs if isinstance(i, IRStoreRet)
+        ]
+        if not store_rets:
+            return None
+        if len(store_rets) > 1 or not isinstance(
+            block.instrs[-1], IRStoreRet
+        ):
+            raise CompilerError(
+                f"{self.func.name}/{block.label}: IRStoreRet must be the "
+                "last instruction before return"
+            )
+        return store_rets[0]
+
+
+def lower_module(module: IRModule) -> MModule:
+    """Lower every function; entry order: entry function first."""
+    out = MModule(module.name, entry=module.entry)
+    names = [module.entry] + [
+        n for n in module.functions if n != module.entry
+    ]
+    for name in names:
+        out.functions.append(_FunctionLowering(module.functions[name]).lower())
+    return out

@@ -1,0 +1,131 @@
+"""Machine-level instructions: physical registers, symbolic targets.
+
+After register allocation and lowering, a function is a list of
+:class:`MBlock` holding :class:`MInstr` — exactly a TEPIC
+:class:`~repro.isa.operation.Operation` except that branch targets are
+still labels (intra-function) or function names (calls).  The scheduler
+groups them into MultiOps; the assembler resolves targets into block ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CompilerError
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import DEFAULT_LOAD_LATENCY, Operation
+from repro.isa.registers import Register, RegisterBank, TRUE_PREDICATE
+
+
+@dataclass
+class MInstr:
+    """One machine op; ``target_label``/``target_function`` unresolved."""
+
+    opcode: Opcode
+    dest: Optional[Register] = None
+    src1: Optional[Register] = None
+    src2: Optional[Register] = None
+    imm: Optional[int] = None
+    predicate: Register = TRUE_PREDICATE
+    bhwx: int = 2
+    target_label: Optional[str] = None
+    target_function: Optional[str] = None
+    speculative: bool = False
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        for reg in (self.dest, self.src1, self.src2):
+            if reg is not None and not isinstance(reg, Register):
+                raise CompilerError(
+                    f"MInstr operand {reg!r} is not a physical register"
+                )
+        if self.predicate.bank is not RegisterBank.PRED:
+            raise CompilerError(
+                f"MInstr predicate {self.predicate} is not a predicate "
+                "register"
+            )
+
+    @property
+    def is_control(self) -> bool:
+        return self.opcode.is_branch
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode.is_memory
+
+    def reads(self) -> tuple[Register, ...]:
+        regs = [r for r in (self.src1, self.src2) if r is not None]
+        if self.predicate != TRUE_PREDICATE:
+            regs.append(self.predicate)
+        return tuple(regs)
+
+    def writes(self) -> tuple[Register, ...]:
+        return (self.dest,) if self.dest is not None else ()
+
+    def to_operation(self, target_block: Optional[int]) -> Operation:
+        """Materialize the final ISA operation (targets resolved)."""
+        return Operation(
+            opcode=self.opcode,
+            dest=self.dest,
+            src1=self.src1,
+            src2=self.src2,
+            imm=self.imm,
+            predicate=self.predicate,
+            speculative=self.speculative,
+            bhwx=self.bhwx,
+            lat=DEFAULT_LOAD_LATENCY,
+            target_block=target_block,
+            note=self.note,
+        )
+
+    def __str__(self) -> str:
+        parts = [self.opcode.name.lower()]
+        operands = [
+            str(o) for o in (self.dest, self.src1, self.src2) if o is not None
+        ]
+        if self.imm is not None:
+            operands.append(f"#{self.imm}")
+        if self.target_label:
+            operands.append(f"->{self.target_label}")
+        if self.target_function:
+            operands.append(f"->{self.target_function}()")
+        text = parts[0] + (" " + ", ".join(operands) if operands else "")
+        if self.predicate != TRUE_PREDICATE:
+            text += f" ?{self.predicate}"
+        return text
+
+
+@dataclass
+class MBlock:
+    """A machine basic block (pre-scheduling: flat op list)."""
+
+    label: str
+    instrs: list[MInstr] = field(default_factory=list)
+    #: Filled by the scheduler: ops grouped into issue packets.  Empty
+    #: cycles (latency stalls) are not represented — the zero-NOP stream
+    #: is dense; ``schedule_cycles`` keeps each packet's issue cycle for
+    #: schedule-quality analysis.
+    schedule: Optional[list[list[MInstr]]] = None
+    schedule_cycles: Optional[list[int]] = None
+
+    @property
+    def terminator(self) -> Optional[MInstr]:
+        if self.instrs and self.instrs[-1].is_control:
+            return self.instrs[-1]
+        return None
+
+
+@dataclass
+class MFunction:
+    name: str
+    num_args: int
+    blocks: list[MBlock] = field(default_factory=list)
+    frame_bytes: int = 0
+
+
+@dataclass
+class MModule:
+    name: str
+    functions: list[MFunction] = field(default_factory=list)
+    entry: str = "main"

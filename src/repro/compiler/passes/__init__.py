@@ -1,0 +1,42 @@
+"""Classical scalar optimizations (the LEGO compiler's "standard
+optimizations").
+
+All passes are conservative with respect to predication: a predicated op
+is a conditional write, so it neither kills values for local propagation
+nor is it a candidate for folding.
+
+:func:`optimize` is the fixed pipeline the compiler driver runs.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cfg import cleanup
+from repro.compiler.ir import IRFunction, IRModule
+from repro.compiler.passes.constfold import fold_constants
+from repro.compiler.passes.copyprop import propagate_copies
+from repro.compiler.passes.dce import eliminate_dead_code
+
+__all__ = [
+    "eliminate_dead_code",
+    "fold_constants",
+    "optimize",
+    "optimize_function",
+    "propagate_copies",
+]
+
+
+def optimize_function(func: IRFunction) -> None:
+    """Run the scalar pipeline to a (bounded) fixed point."""
+    cleanup(func)
+    for _ in range(3):
+        changed = propagate_copies(func)
+        changed |= fold_constants(func)
+        changed |= eliminate_dead_code(func)
+        if not changed:
+            break
+    cleanup(func)
+
+
+def optimize(module: IRModule) -> None:
+    for func in module.functions.values():
+        optimize_function(func)

@@ -1,0 +1,132 @@
+"""Local constant folding and strength reduction.
+
+Tracks, within one basic block, which virtual registers hold known
+integer constants (fed by ``LDI``) and
+
+* folds ALU ops with all-constant inputs back into an ``LDI`` when the
+  result fits the 20-bit immediate field,
+* strength-reduces multiplication by a power of two into a shift (one of
+  the paper's examples of replacing rare/expensive ops — Section 2.2
+  mentions strength reduction as the escape hatch for overlong Huffman
+  codes).
+
+Arithmetic is 32-bit two's-complement wrapping, matching the emulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.compiler.ir import IRFunction, IROp, VReg
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import IMM_MAX, IMM_MIN
+from repro.utils.arith import (
+    div_trunc as _div_trunc,
+    mod_trunc as _mod_trunc,
+    shift_amount as _shift_amount,
+    wrap32,
+)
+
+
+_BINARY: dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: wrap32(a + b),
+    Opcode.SUB: lambda a, b: wrap32(a - b),
+    Opcode.MPY: lambda a, b: wrap32(a * b),
+    Opcode.AND: lambda a, b: wrap32(a & b),
+    Opcode.OR: lambda a, b: wrap32(a | b),
+    Opcode.XOR: lambda a, b: wrap32(a ^ b),
+    Opcode.SHL: lambda a, b: wrap32(a << _shift_amount(b)),
+    Opcode.SHR: lambda a, b: wrap32((a & 0xFFFFFFFF) >> _shift_amount(b)),
+    Opcode.SRA: lambda a, b: wrap32(a >> _shift_amount(b)),
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+}
+
+_UNARY: dict[Opcode, Callable[[int], int]] = {
+    Opcode.MOV: lambda a: a,
+    Opcode.ABS: lambda a: wrap32(abs(a)),
+    Opcode.NOT: lambda a: wrap32(~a),
+}
+
+
+def _eval(op: IROp, a: Optional[int], b: Optional[int]) -> Optional[int]:
+    opcode = op.opcode
+    if opcode in _BINARY and a is not None and b is not None:
+        return _BINARY[opcode](a, b)
+    if opcode in _UNARY and a is not None and op.src2 is None:
+        return _UNARY[opcode](a)
+    if opcode is Opcode.DIV and a is not None and b not in (None, 0):
+        return wrap32(_div_trunc(a, b))
+    if opcode is Opcode.MOD and a is not None and b not in (None, 0):
+        return wrap32(_mod_trunc(a, b))
+    return None
+
+
+def fold_constants(func: IRFunction) -> bool:
+    """Run local constant folding over every block; True when changed."""
+    changed = False
+    for block in func.blocks:
+        consts: dict[VReg, int] = {}
+        new_instrs = []
+        for instr in block.instrs:
+            if not isinstance(instr, IROp):
+                for d in instr.writes():
+                    if isinstance(d, VReg):
+                        consts.pop(d, None)
+                new_instrs.append(instr)
+                continue
+            instr, did = _fold_one(func, instr, consts, new_instrs)
+            changed |= did
+            new_instrs.append(instr)
+            _update_env(instr, consts)
+        block.instrs = new_instrs
+    return changed
+
+
+def _lookup(consts: dict[VReg, int], operand) -> Optional[int]:
+    if isinstance(operand, VReg):
+        return consts.get(operand)
+    return None
+
+
+def _fold_one(
+    func: IRFunction,
+    op: IROp,
+    consts: dict[VReg, int],
+    out: list,
+) -> tuple[IROp, bool]:
+    if op.predicate is not None or op.dest is None:
+        return op, False
+    if op.opcode.is_memory or op.opcode.is_compare or op.opcode.is_float:
+        return op, False
+    a = _lookup(consts, op.src1)
+    b = _lookup(consts, op.src2)
+    value = _eval(op, a, b)
+    if value is not None and IMM_MIN <= value <= IMM_MAX:
+        return IROp(Opcode.LDI, dest=op.dest, imm=value), True
+    # Strength reduction: multiply by a power of two becomes a shift.
+    if op.opcode is Opcode.MPY:
+        for const, other in ((b, op.src1), (a, op.src2)):
+            if const is not None and const > 0 and (const & (const - 1)) == 0:
+                shift = const.bit_length() - 1
+                amount = func.new_vreg(op.dest.cls)  # type: ignore[union-attr]
+                out.append(IROp(Opcode.LDI, dest=amount, imm=shift))
+                consts[amount] = shift
+                return (
+                    IROp(Opcode.SHL, dest=op.dest, src1=other, src2=amount),
+                    True,
+                )
+    return op, False
+
+
+def _update_env(instr: IROp, consts: dict[VReg, int]) -> None:
+    dest = instr.dest
+    if not isinstance(dest, VReg):
+        return
+    if instr.predicate is not None:
+        consts.pop(dest, None)
+        return
+    if instr.opcode is Opcode.LDI:
+        consts[dest] = instr.imm or 0
+    else:
+        consts.pop(dest, None)

@@ -1,0 +1,64 @@
+"""Local copy propagation.
+
+Within a block, after ``mov d, s`` every later read of ``d`` can read
+``s`` instead — until either register is redefined.  This both shortens
+dependence chains for the scheduler and exposes dead moves to DCE.
+Predicated moves (the select idiom) do not establish copies.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import IRFunction, IRInstr, IROp, VReg
+from repro.isa.opcodes import Opcode
+
+_COPY_OPCODES = (Opcode.MOV, Opcode.FMOV)
+
+
+def _resolve(copies: dict[VReg, VReg], reg: VReg) -> VReg:
+    seen = set()
+    while reg in copies and reg not in seen:
+        seen.add(reg)
+        reg = copies[reg]
+    return reg
+
+
+def _invalidate(copies: dict[VReg, VReg], written: VReg) -> None:
+    copies.pop(written, None)
+    stale = [d for d, s in copies.items() if s == written]
+    for d in stale:
+        del copies[d]
+
+
+def _rewrite_reads(instr: IRInstr, copies: dict[VReg, VReg]) -> bool:
+    changed = False
+    if isinstance(instr, IROp):
+        for attr in ("src1", "src2", "predicate"):
+            reg = getattr(instr, attr)
+            if isinstance(reg, VReg):
+                resolved = _resolve(copies, reg)
+                if resolved != reg:
+                    setattr(instr, attr, resolved)
+                    changed = True
+    return changed
+
+
+def propagate_copies(func: IRFunction) -> bool:
+    """Run local copy propagation over every block; True when changed."""
+    changed = False
+    for block in func.blocks:
+        copies: dict[VReg, VReg] = {}
+        for instr in block.instrs:
+            changed |= _rewrite_reads(instr, copies)
+            for written in instr.writes():
+                if isinstance(written, VReg):
+                    _invalidate(copies, written)
+            if (
+                isinstance(instr, IROp)
+                and instr.opcode in _COPY_OPCODES
+                and instr.predicate is None
+                and isinstance(instr.dest, VReg)
+                and isinstance(instr.src1, VReg)
+                and instr.dest != instr.src1
+            ):
+                copies[instr.dest] = instr.src1
+    return changed

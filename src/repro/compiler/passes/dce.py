@@ -1,0 +1,46 @@
+"""Dead-code elimination.
+
+A pure op (no memory side effect) whose destination is never read
+anywhere in the function is removed; iterates because removing one op can
+orphan its inputs.  Reads include predicates, terminator uses, and pseudo
+ops, so compare results feeding branches are always preserved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.compiler.ir import IRFunction, IROp, VReg
+
+
+def _use_counts(func: IRFunction) -> Counter:
+    counts: Counter = Counter()
+    for instr in func.all_instrs():
+        for reg in instr.reads():
+            if isinstance(reg, VReg):
+                counts[reg] += 1
+    return counts
+
+
+def eliminate_dead_code(func: IRFunction) -> bool:
+    """Remove dead pure ops until stable; True when anything changed."""
+    changed = False
+    while True:
+        uses = _use_counts(func)
+        removed = 0
+        for block in func.blocks:
+            kept = []
+            for instr in block.instrs:
+                if (
+                    isinstance(instr, IROp)
+                    and instr.is_pure
+                    and isinstance(instr.dest, VReg)
+                    and uses[instr.dest] == 0
+                ):
+                    removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        if removed == 0:
+            return changed
+        changed = True

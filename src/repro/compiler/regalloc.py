@@ -1,0 +1,347 @@
+"""Linear-scan register allocation onto the 32/32/32 TEPIC files.
+
+Design points:
+
+* Intervals are coarse ``[first-live, last-live]`` position ranges built
+  from block-level liveness — holes are ignored, which can only increase
+  pressure, never break correctness.
+* **Calls clobber everything.**  The calling convention passes arguments
+  and return values through the stack (see :mod:`repro.compiler.lower`),
+  so no register survives a call: any interval crossing a call site is
+  allocated to a spill slot outright.  Predicates cannot be spilled; a
+  predicate live across a call is a compile error (none of the shipped
+  programs needs one).
+* Reserved registers: ``r31`` is the stack pointer; ``r28`` addresses
+  spill slots; ``r29``/``r30`` (and ``f30``/``f31``) carry spilled values
+  between memory and the op.  Allocatable: ``r0``–``r27``, ``f0``–``f29``,
+  ``p1``–``p31`` (``p0`` is hard-wired true).
+* Spill slots are 8 bytes (so either bank fits) at ``SP + 8*slot``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import RegisterAllocationError
+from repro.compiler.ir import (
+    IRArgLoad,
+    IRBranch,
+    IRCall,
+    IRFunction,
+    IRInstr,
+    IRLoadRet,
+    IROp,
+    IRStoreArg,
+    IRStoreRet,
+    RegClass,
+    VReg,
+)
+from repro.compiler.liveness import analyze_liveness, instr_defs, instr_uses
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import BHWX_DOUBLE, BHWX_WORD
+from repro.isa.registers import Register, fpr, gpr, pred
+
+#: The stack pointer.
+SP = gpr(31)
+
+#: Scratch used to compute spill-slot addresses.
+SPILL_ADDR_SCRATCH = gpr(28)
+
+#: Value scratches for spilled integer operands (first read / second read
+#: or destination).
+INT_SCRATCH_A = gpr(29)
+INT_SCRATCH_B = gpr(30)
+
+#: Value scratches for spilled floating-point operands.
+FP_SCRATCH_A = fpr(30)
+FP_SCRATCH_B = fpr(31)
+
+#: Bytes per spill slot (uniform so FP doubles fit).
+SPILL_SLOT_BYTES = 8
+
+ALLOCATABLE = {
+    RegClass.INT: [gpr(i) for i in range(28)],
+    RegClass.FLOAT: [fpr(i) for i in range(30)],
+    RegClass.PRED: [pred(i) for i in range(1, 32)],
+}
+
+
+@dataclass
+class Interval:
+    reg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+    assigned: Optional[Register] = None
+    slot: Optional[int] = None
+
+
+@dataclass
+class AllocationResult:
+    """What happened, for reporting and tests."""
+
+    assignments: dict[VReg, Register] = field(default_factory=dict)
+    slots: dict[VReg, int] = field(default_factory=dict)
+    num_slots: int = 0
+
+
+def _number_instrs(func: IRFunction) -> dict[int, int]:
+    """Position of each instruction (by identity) in layout order."""
+    positions: dict[int, int] = {}
+    index = 0
+    for block in func.blocks:
+        for instr in block.all_instrs():
+            positions[id(instr)] = index
+            index += 1
+    return positions
+
+
+def _block_ranges(func: IRFunction) -> dict[str, tuple[int, int]]:
+    ranges = {}
+    index = 0
+    for block in func.blocks:
+        count = len(block.instrs) + (1 if block.terminator else 0)
+        ranges[block.label] = (index, index + count)
+        index += count
+    return ranges
+
+
+def _build_intervals(func: IRFunction) -> tuple[list[Interval], list[int]]:
+    liveness = analyze_liveness(func)
+    positions = _number_instrs(func)
+    ranges = _block_ranges(func)
+    lo: dict[VReg, int] = {}
+    hi: dict[VReg, int] = {}
+
+    def touch(reg: VReg, pos: int) -> None:
+        if reg not in lo:
+            lo[reg] = hi[reg] = pos
+        else:
+            lo[reg] = min(lo[reg], pos)
+            hi[reg] = max(hi[reg], pos)
+
+    call_positions = []
+    for block in func.blocks:
+        start, end = ranges[block.label]
+        for reg in liveness.live_in[block.label]:
+            touch(reg, start)
+        for reg in liveness.live_out[block.label]:
+            touch(reg, max(start, end - 1))
+        for instr in block.all_instrs():
+            pos = positions[id(instr)]
+            for reg in instr_uses(instr):
+                touch(reg, pos)
+            for reg in instr_defs(instr):
+                touch(reg, pos)
+            if isinstance(instr, IRCall):
+                call_positions.append(pos)
+    intervals = []
+    for reg in lo:
+        crosses = any(lo[reg] < c < hi[reg] for c in call_positions)
+        intervals.append(
+            Interval(reg=reg, start=lo[reg], end=hi[reg],
+                     crosses_call=crosses)
+        )
+    intervals.sort(key=lambda iv: (iv.start, iv.end, str(iv.reg)))
+    return intervals, call_positions
+
+
+def _linear_scan(
+    intervals: list[Interval], next_slot: int
+) -> tuple[int, dict[VReg, Register], dict[VReg, int]]:
+    """Allocate one register class; returns (slots used, regs, spills)."""
+    assignments: dict[VReg, Register] = {}
+    slots: dict[VReg, int] = {}
+    if not intervals:
+        return next_slot, assignments, slots
+    cls = intervals[0].reg.cls
+    # FIFO free list: successive allocations cycle through the whole
+    # register file instead of reusing the lowest numbers, spreading
+    # operand-field values the way high-pressure code does.
+    free = deque(ALLOCATABLE[cls])
+    active: list[Interval] = []
+
+    def assign_slot(interval: Interval) -> None:
+        nonlocal next_slot
+        if cls is RegClass.PRED:
+            raise RegisterAllocationError(
+                f"predicate {interval.reg} cannot be spilled (live across "
+                "a call or pool exhausted)"
+            )
+        interval.slot = next_slot
+        slots[interval.reg] = next_slot
+        next_slot += 1
+
+    for interval in intervals:
+        # Expire finished intervals.
+        still_active = []
+        for act in active:
+            if act.end < interval.start:
+                free.append(act.assigned)  # type: ignore[arg-type]
+            else:
+                still_active.append(act)
+        active = still_active
+        if interval.crosses_call:
+            assign_slot(interval)
+            continue
+        if free:
+            interval.assigned = free.popleft()
+            assignments[interval.reg] = interval.assigned
+            active.append(interval)
+            continue
+        # Spill the interval that lives longest.
+        victim = max(active, key=lambda iv: iv.end)
+        if victim.end > interval.end:
+            interval.assigned = victim.assigned
+            assignments[interval.reg] = interval.assigned
+            del assignments[victim.reg]
+            victim.assigned = None
+            assign_slot(victim)
+            active.remove(victim)
+            active.append(interval)
+        else:
+            assign_slot(interval)
+    return next_slot, assignments, slots
+
+
+def _spill_slot_address_ops(slot: int) -> list[IROp]:
+    """Compute ``SP + 8*slot`` into the address scratch."""
+    offset = slot * SPILL_SLOT_BYTES
+    return [
+        IROp(Opcode.LDI, dest=SPILL_ADDR_SCRATCH, imm=offset),
+        IROp(
+            Opcode.ADD,
+            dest=SPILL_ADDR_SCRATCH,
+            src1=SP,
+            src2=SPILL_ADDR_SCRATCH,
+        ),
+    ]
+
+
+def _reload(slot: int, scratch: Register) -> list[IROp]:
+    bhwx = BHWX_DOUBLE if scratch.bank.value == "f" else BHWX_WORD
+    ops = _spill_slot_address_ops(slot)
+    ops.append(
+        IROp(Opcode.LD, dest=scratch, src1=SPILL_ADDR_SCRATCH, bhwx=bhwx)
+    )
+    return ops
+
+
+def _spill_store(slot: int, scratch: Register) -> list[IROp]:
+    bhwx = BHWX_DOUBLE if scratch.bank.value == "f" else BHWX_WORD
+    ops = _spill_slot_address_ops(slot)
+    ops.append(
+        IROp(Opcode.ST, src1=SPILL_ADDR_SCRATCH, src2=scratch, bhwx=bhwx)
+    )
+    return ops
+
+
+class _Rewriter:
+    """Applies an allocation to a function's instructions."""
+
+    def __init__(
+        self,
+        assignments: dict[VReg, Register],
+        slots: dict[VReg, int],
+    ) -> None:
+        self._assignments = assignments
+        self._slots = slots
+
+    def _map_read(
+        self,
+        reg: Union[VReg, Register, None],
+        before: list[IROp],
+        scratches: list[Register],
+    ) -> Union[Register, None]:
+        if reg is None or isinstance(reg, Register):
+            return reg
+        if reg in self._assignments:
+            return self._assignments[reg]
+        slot = self._slots[reg]
+        scratch = scratches.pop(0)
+        before.extend(_reload(slot, scratch))
+        return scratch
+
+    def _map_write(
+        self,
+        reg: Union[VReg, Register, None],
+        after: list[IROp],
+        scratch_pool: dict[RegClass, Register],
+    ) -> Union[Register, None]:
+        if reg is None or isinstance(reg, Register):
+            return reg
+        if reg in self._assignments:
+            return self._assignments[reg]
+        slot = self._slots[reg]
+        scratch = scratch_pool[reg.cls]
+        after.extend(_spill_store(slot, scratch))
+        return scratch
+
+    def rewrite(self, func: IRFunction) -> None:
+        for block in func.blocks:
+            new_instrs: list[IRInstr] = []
+            for instr in block.instrs:
+                new_instrs.extend(self._rewrite_instr(instr))
+            block.instrs = new_instrs
+            term = block.terminator
+            if isinstance(term, IRBranch) and isinstance(
+                term.predicate, VReg
+            ):
+                term.predicate = self._assignments[term.predicate]
+
+    def _rewrite_instr(self, instr: IRInstr) -> list[IRInstr]:
+        before: list[IROp] = []
+        after: list[IROp] = []
+        int_scratches = [INT_SCRATCH_A, INT_SCRATCH_B]
+        fp_scratches = [FP_SCRATCH_A, FP_SCRATCH_B]
+
+        def read(reg):
+            if isinstance(reg, VReg) and reg.cls is RegClass.FLOAT:
+                return self._map_read(reg, before, fp_scratches)
+            return self._map_read(reg, before, int_scratches)
+
+        write_pool = {
+            RegClass.INT: INT_SCRATCH_A,
+            RegClass.FLOAT: FP_SCRATCH_A,
+        }
+        if isinstance(instr, IROp):
+            instr.src1 = read(instr.src1)
+            instr.src2 = read(instr.src2)
+            if isinstance(instr.predicate, VReg):
+                instr.predicate = self._assignments[instr.predicate]
+            instr.dest = self._map_write(instr.dest, after, write_pool)
+        elif isinstance(instr, IRArgLoad):
+            instr.dest = self._map_write(instr.dest, after, write_pool)
+        elif isinstance(instr, IRStoreArg):
+            instr.src = read(instr.src)
+        elif isinstance(instr, IRLoadRet):
+            instr.dest = self._map_write(instr.dest, after, write_pool)
+        elif isinstance(instr, IRStoreRet):
+            instr.src = read(instr.src)
+        return [*before, instr, *after]
+
+
+def allocate_registers(func: IRFunction) -> AllocationResult:
+    """Allocate ``func`` in place; all operands become physical registers."""
+    intervals, _ = _build_intervals(func)
+    by_class: dict[RegClass, list[Interval]] = {
+        RegClass.INT: [],
+        RegClass.FLOAT: [],
+        RegClass.PRED: [],
+    }
+    for interval in intervals:
+        by_class[interval.reg.cls].append(interval)
+    result = AllocationResult()
+    next_slot = 0
+    for cls in (RegClass.INT, RegClass.FLOAT, RegClass.PRED):
+        next_slot, assignments, slots = _linear_scan(
+            by_class[cls], next_slot
+        )
+        result.assignments.update(assignments)
+        result.slots.update(slots)
+    result.num_slots = next_slot
+    func.num_spill_slots = next_slot
+    _Rewriter(result.assignments, result.slots).rewrite(func)
+    return result

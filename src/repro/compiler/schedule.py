@@ -1,0 +1,200 @@
+"""List scheduling of machine blocks into 6-issue zero-NOP MultiOps.
+
+The machine model follows the paper's core: 6-issue, with 4 units that
+execute anything but memory accesses and 2 universal units (so at most two
+memory ops per MultiOp).  Dependences:
+
+* RAW — consumer waits the producer's latency (so never the same cycle);
+* WAR — same cycle is legal: a VLIW reads all sources before any unit
+  writes, which the emulator also implements;
+* WAW — strictly later cycle (two same-register writes cannot share a
+  MultiOp);
+* memory — conservative: stores order against every other memory op;
+  loads may pass loads.  A load and an older store may share a cycle
+  (read-before-write), a store after a load may not be reordered before
+  it;
+* control — the terminator issues in the block's last cycle.
+
+Predicated destinations count as read *and* written (a false predicate
+preserves the old value), which serializes the ``select`` idiom
+correctly.
+
+Latencies within a block are honored by the schedule; latencies dangling
+past a block boundary are not padded (the fetch-side cycle model charges
+one cycle per MultiOp regardless — see DESIGN.md fidelity notes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.compiler.machine import MBlock, MFunction, MInstr, MModule
+from repro.isa.multiop import ISSUE_WIDTH, MEMORY_UNITS
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Register, TRUE_PREDICATE
+
+#: Producer latencies in cycles (result usable ``latency`` cycles later).
+LATENCY: dict[Opcode, int] = {
+    Opcode.MPY: 3,
+    Opcode.DIV: 8,
+    Opcode.MOD: 8,
+    Opcode.LD: 2,
+    Opcode.FADD: 3,
+    Opcode.FSUB: 3,
+    Opcode.FMPY: 3,
+    Opcode.FDIV: 12,
+    Opcode.FABS: 2,
+    Opcode.FMOV: 2,
+    Opcode.FMIN: 3,
+    Opcode.FMAX: 3,
+    Opcode.I2F: 2,
+    Opcode.F2I: 2,
+}
+
+DEFAULT_LATENCY = 1
+
+
+def latency_of(opcode: Opcode) -> int:
+    return LATENCY.get(opcode, DEFAULT_LATENCY)
+
+
+def _instr_reads(instr: MInstr) -> set[Register]:
+    regs = {r for r in (instr.src1, instr.src2) if r is not None}
+    if instr.predicate != TRUE_PREDICATE:
+        regs.add(instr.predicate)
+    if instr.dest is not None and instr.predicate != TRUE_PREDICATE:
+        # Predicated write preserves the old value: treat as a read.
+        regs.add(instr.dest)
+    return regs
+
+
+def _build_edges(instrs: list[MInstr]) -> list[dict[int, int]]:
+    """``edges[j] = {i: min_latency}``: j must wait for i."""
+    n = len(instrs)
+    edges: list[dict[int, int]] = [dict() for _ in range(n)]
+
+    def add(i: int, j: int, lat: int) -> None:
+        if i == j:
+            return
+        current = edges[j].get(i)
+        if current is None or lat > current:
+            edges[j][i] = lat
+
+    last_write: dict[Register, int] = {}
+    readers: dict[Register, list[int]] = {}
+    last_store: int | None = None
+    loads_since_store: list[int] = []
+    for j, instr in enumerate(instrs):
+        for reg in _instr_reads(instr):
+            if reg in last_write:
+                i = last_write[reg]
+                add(i, j, latency_of(instrs[i].opcode))
+            readers.setdefault(reg, []).append(j)
+        for reg in instr.writes():
+            if reg in last_write:
+                add(last_write[reg], j, 1)  # WAW: strictly later
+            for reader in readers.get(reg, ()):  # WAR: same cycle legal
+                add(reader, j, 0)
+        if instr.opcode is Opcode.LD:
+            if last_store is not None:
+                add(last_store, j, 1)  # memory RAW: after the store
+            loads_since_store.append(j)
+        elif instr.opcode is Opcode.ST:
+            if last_store is not None:
+                add(last_store, j, 1)
+            for load in loads_since_store:
+                add(load, j, 0)  # load may share the store's cycle
+            last_store = j
+            loads_since_store = []
+        if instr.is_control:
+            if j != n - 1:
+                raise ScheduleError(
+                    "control op must terminate its machine block"
+                )
+            for i in range(n - 1):
+                add(i, j, 0)
+        for reg in instr.writes():
+            last_write[reg] = j
+            readers[reg] = []
+    return edges
+
+
+def _priorities(instrs: list[MInstr], edges: list[dict[int, int]]) -> list[int]:
+    """Critical-path height of each instruction (for the ready queue)."""
+    n = len(instrs)
+    succs: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for j, preds in enumerate(edges):
+        for i, lat in preds.items():
+            succs[i].append((j, lat))
+    height = [0] * n
+    for i in range(n - 1, -1, -1):
+        best = 0
+        for j, lat in succs[i]:
+            best = max(best, height[j] + max(lat, 1))
+        height[i] = best
+    return height
+
+
+def schedule_block(block: MBlock) -> list[list[MInstr]]:
+    """Schedule one block; returns (and stores) the MOP grouping."""
+    instrs = block.instrs
+    if not instrs:
+        raise ScheduleError(f"block {block.label!r} is empty")
+    edges = _build_edges(instrs)
+    height = _priorities(instrs, edges)
+    n = len(instrs)
+    unscheduled = set(range(n))
+    cycle_of: dict[int, int] = {}
+    schedule: list[list[int]] = []
+    packet_cycles: list[int] = []
+    cycle = 0
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 10 * n + 100:
+            raise ScheduleError(
+                f"scheduler failed to converge on block {block.label!r}"
+            )
+        ready = []
+        for j in sorted(unscheduled):
+            earliest = 0
+            ok = True
+            for i, lat in edges[j].items():
+                if i in unscheduled:
+                    ok = False
+                    break
+                earliest = max(earliest, cycle_of[i] + lat)
+            if ok and earliest <= cycle:
+                ready.append(j)
+        ready.sort(key=lambda j: (-height[j], j))
+        packet: list[int] = []
+        mem_used = 0
+        for j in ready:
+            if len(packet) >= ISSUE_WIDTH:
+                break
+            if instrs[j].is_memory:
+                if mem_used >= MEMORY_UNITS:
+                    continue
+                mem_used += 1
+            packet.append(j)
+        if packet:
+            packet.sort()
+            for j in packet:
+                cycle_of[j] = cycle
+                unscheduled.discard(j)
+            schedule.append(packet)
+            packet_cycles.append(cycle)
+        cycle += 1
+    mops = [[instrs[j] for j in packet] for packet in schedule]
+    block.schedule = mops
+    block.schedule_cycles = packet_cycles
+    return mops
+
+
+def schedule_function(func: MFunction) -> None:
+    for block in func.blocks:
+        schedule_block(block)
+
+
+def schedule_module(module: MModule) -> None:
+    for func in module.functions:
+        schedule_function(func)

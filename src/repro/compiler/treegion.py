@@ -1,0 +1,228 @@
+"""Treegion formation and treegion-scoped speculative hoisting.
+
+A *treegion* (Havanki/Banerjia/Conte) is a single-entry tree of basic
+blocks: every block except the root has exactly one predecessor, which is
+also in the tree, and tree edges are forward (no back edges).  The paper's
+LEGO compiler schedules treegions globally and then decomposes them back
+into basic blocks; here treegions are formed on the machine CFG and used
+for a conservative upward code motion: ALU ops from the head of a
+single-predecessor child may move into their parent block when the
+destination is dead on the parent's other paths.  Hoisted ops are marked
+speculative (the ``S`` bit of the TEPIC encoding).
+
+The motion is deliberately conservative — correctness is checked by
+differential tests (emulator output with hoisting on vs. off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.machine import MBlock, MFunction, MInstr
+from repro.isa.opcodes import Opcode, OpType
+from repro.isa.registers import Register, TRUE_PREDICATE
+
+#: Most ops movable per parent/child pair (one issue packet's worth).
+MAX_HOIST_PER_EDGE = 6
+
+
+def _successors(func: MFunction) -> dict[str, list[str]]:
+    labels = [b.label for b in func.blocks]
+    succ: dict[str, list[str]] = {}
+    for i, block in enumerate(func.blocks):
+        term = block.terminator
+        next_label = labels[i + 1] if i + 1 < len(labels) else None
+        if term is None or term.opcode is Opcode.CALL:
+            succ[block.label] = [next_label] if next_label else []
+        elif term.opcode is Opcode.BR:
+            targets = []
+            if term.predicate != TRUE_PREDICATE and next_label:
+                targets.append(next_label)
+            targets.append(term.target_label)
+            succ[block.label] = [t for t in targets if t is not None]
+        else:  # RET / HALT
+            succ[block.label] = []
+    return succ
+
+
+def _predecessors(succ: dict[str, list[str]]) -> dict[str, list[str]]:
+    preds: dict[str, list[str]] = {label: [] for label in succ}
+    for label, targets in succ.items():
+        for t in targets:
+            if t in preds:
+                preds[t].append(label)
+    return preds
+
+
+def _back_edge_heads(func: MFunction) -> set[tuple[str, str]]:
+    """Edges (u, v) where v does not come after u in layout order.
+
+    Layout order is a conservative stand-in for a DFS order here: any
+    backward-in-layout edge is treated as a loop back edge, which can only
+    make treegions smaller, never incorrect.
+    """
+    index = {b.label: i for i, b in enumerate(func.blocks)}
+    back = set()
+    for u, targets in _successors(func).items():
+        for v in targets:
+            if index[v] <= index[u]:
+                back.add((u, v))
+    return back
+
+
+@dataclass
+class Treegion:
+    """One tree of blocks; ``parent`` maps non-root labels to parents."""
+
+    root: str
+    blocks: list[str] = field(default_factory=list)
+    parent: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.blocks)
+
+
+def form_treegions(func: MFunction) -> list[Treegion]:
+    """Partition the CFG into maximal treegions (greedy, layout order)."""
+    succ = _successors(func)
+    preds = _predecessors(succ)
+    back = _back_edge_heads(func)
+    assigned: dict[str, Treegion] = {}
+    regions: list[Treegion] = []
+    for block in func.blocks:
+        label = block.label
+        block_preds = preds[label]
+        joins_parent = None
+        if len(block_preds) == 1:
+            parent = block_preds[0]
+            if (parent, label) not in back and parent in assigned:
+                joins_parent = parent
+        if joins_parent is None:
+            region = Treegion(root=label, blocks=[label])
+            regions.append(region)
+            assigned[label] = region
+        else:
+            region = assigned[joins_parent]
+            region.blocks.append(label)
+            region.parent[label] = joins_parent
+            assigned[label] = region
+    return regions
+
+
+def _machine_liveness(func: MFunction) -> dict[str, set[Register]]:
+    """Per-block live-in sets of physical registers."""
+    succ = _successors(func)
+    use: dict[str, set[Register]] = {}
+    deff: dict[str, set[Register]] = {}
+    for block in func.blocks:
+        upward: set[Register] = set()
+        killed: set[Register] = set()
+        for instr in block.instrs:
+            for reg in _minstr_reads(instr):
+                if reg not in killed:
+                    upward.add(reg)
+            if instr.predicate == TRUE_PREDICATE:
+                killed.update(instr.writes())
+        use[block.label] = upward
+        deff[block.label] = killed
+    live_in = {b.label: set() for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            label = block.label
+            out: set[Register] = set()
+            for s in succ[label]:
+                out |= live_in[s]
+            new_in = use[label] | (out - deff[label])
+            if new_in != live_in[label]:
+                live_in[label] = new_in
+                changed = True
+    return live_in
+
+
+def _minstr_reads(instr: MInstr) -> set[Register]:
+    regs = {r for r in (instr.src1, instr.src2) if r is not None}
+    if instr.predicate != TRUE_PREDICATE:
+        regs.add(instr.predicate)
+        if instr.dest is not None:
+            regs.add(instr.dest)
+    return regs
+
+
+def _hoistable(instr: MInstr) -> bool:
+    if instr.is_control or instr.is_memory:
+        return False
+    if instr.predicate != TRUE_PREDICATE:
+        return False
+    if instr.dest is None:
+        return False
+    # Excepting ops that can trap: division by zero must not be
+    # speculated above the guarding branch.
+    if instr.opcode in (Opcode.DIV, Opcode.MOD, Opcode.FDIV):
+        return False
+    return instr.opcode.optype in (OpType.INT, OpType.FLOAT)
+
+
+def hoist_into_parents(func: MFunction) -> int:
+    """Move safe child-prefix ops into single-predecessor parents.
+
+    Returns the number of hoisted operations.  Must run before
+    scheduling.
+    """
+    succ = _successors(func)
+    preds = _predecessors(succ)
+    back = _back_edge_heads(func)
+    by_label = {b.label: b for b in func.blocks}
+    hoisted_total = 0
+    for region in form_treegions(func):
+        for child_label in region.blocks:
+            parent_label = region.parent.get(child_label)
+            if parent_label is None:
+                continue
+            if (parent_label, child_label) in back:
+                continue
+            live_in = _machine_liveness(func)
+            parent = by_label[parent_label]
+            child = by_label[child_label]
+            moved = _hoist_prefix(
+                parent, child, succ, live_in, child_label
+            )
+            hoisted_total += moved
+    return hoisted_total
+
+
+def _hoist_prefix(
+    parent: MBlock,
+    child: MBlock,
+    succ: dict[str, list[str]],
+    live_in: dict[str, set[Register]],
+    child_label: str,
+) -> int:
+    # Registers that must stay intact on the parent's *other* paths.
+    other_live: set[Register] = set()
+    for other in succ[parent.label]:
+        if other != child_label:
+            other_live |= live_in[other]
+    # Registers the parent's terminator reads (the hoisted op lands
+    # before the terminator, so it must not clobber its inputs).
+    term = parent.terminator
+    term_reads = _minstr_reads(term) if term is not None else set()
+    moved = 0
+    while moved < MAX_HOIST_PER_EDGE and child.instrs:
+        op = child.instrs[0]
+        if not _hoistable(op):
+            break
+        if op.dest in other_live or op.dest in term_reads:
+            break
+        if len(child.instrs) == 1:
+            break  # never empty a block
+        child.instrs.pop(0)
+        op.speculative = True
+        insert_at = len(parent.instrs)
+        if term is not None:
+            insert_at -= 1
+        parent.instrs.insert(insert_at, op)
+        moved += 1
+    return moved

@@ -1,0 +1,76 @@
+"""The paper's Huffman-decoder complexity model (Section 3.5, Figure 10).
+
+The decoder is modeled as a Huffman-tree multiplexer network built from
+CMOS transmission gates; the paper derives the worst-case transistor
+count
+
+    T = 2·m·(2^n − 1) + 4·m·(2^n − 2^(n−1) − 1) + 2·n
+
+with *n* the longest Huffman code, *k* the number of dictionary entries
+(kept for reporting; the worst-case bound does not depend on it) and *m*
+the longest dictionary entry in bits.  "It is not intended to suggest real
+hardware implementation, only as a criterion for evaluation."
+
+For stream schemes, each stream has its own decoder; the scheme cost is
+the sum.  For calibration the paper cites practical decompressors at
+10,000–28,000 transistors for a 114-entry, 1–16-bit-code table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.schemes import CompressedImage
+
+#: Reference range from [17,18]: practical Huffman decoder real estate.
+PRACTICAL_DECODER_TRANSISTORS = (10_000, 28_000)
+
+
+def huffman_decoder_transistors(n: int, m: int) -> int:
+    """Worst-case transistor count of one Huffman-tree decoder.
+
+    ``n`` — longest code word in bits; ``m`` — widest dictionary entry in
+    bits.  This is the paper's closed form verbatim.
+    """
+    if n < 1:
+        raise ValueError(f"longest code length must be >= 1, got {n}")
+    if m < 1:
+        raise ValueError(f"entry width must be >= 1, got {m}")
+    return 2 * m * (2**n - 1) + 4 * m * (2**n - 2 ** (n - 1) - 1) + 2 * n
+
+
+@dataclass(frozen=True)
+class DecoderCost:
+    """Decoder complexity of one scheme, with per-stream breakdown."""
+
+    scheme_name: str
+    per_stream: tuple[tuple[int, int, int], ...]  # (n, k, m) per stream
+
+    @property
+    def transistors(self) -> int:
+        return sum(
+            huffman_decoder_transistors(n, m) for n, _, m in self.per_stream
+        )
+
+    @property
+    def table_entries(self) -> int:
+        """Total dictionary entries across streams (sum of k)."""
+        return sum(k for _, k, _ in self.per_stream)
+
+    @property
+    def longest_code(self) -> int:
+        if not self.per_stream:
+            return 0
+        return max(n for n, _, _ in self.per_stream)
+
+
+def scheme_decoder_cost(compressed: CompressedImage) -> DecoderCost:
+    """Decoder cost for a compressed image's dictionaries.
+
+    The baseline (identity) encoding has no Huffman decoder: cost zero,
+    represented by an empty stream tuple.
+    """
+    per_stream = tuple(
+        (stream.n, stream.k, stream.m) for stream in compressed.streams
+    )
+    return DecoderCost(compressed.scheme_name, per_stream)

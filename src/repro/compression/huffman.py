@@ -1,0 +1,187 @@
+"""Canonical Huffman coding.
+
+The coder is deterministic: ties in the tree construction are broken by
+symbol order, and code words are assigned canonically (sorted by length,
+then symbol), which is also what makes hardware table decoding cheap.
+Symbols are integers (bytes, bit-field values, or whole 40-bit ops).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import CompressionError
+from repro.utils.bitstream import BitReader, BitWriter
+
+
+def code_lengths_from_frequencies(
+    frequencies: Mapping[int, int]
+) -> dict[int, int]:
+    """Optimal (unbounded) Huffman code lengths for ``frequencies``.
+
+    A single-symbol alphabet gets length 1 — hardware still needs one bit
+    to know when a symbol was consumed.
+    """
+    items = sorted(frequencies.items())
+    if not items:
+        raise CompressionError("cannot build a Huffman code for no symbols")
+    for symbol, count in items:
+        if count <= 0:
+            raise CompressionError(
+                f"symbol {symbol} has non-positive frequency {count}"
+            )
+    if len(items) == 1:
+        return {items[0][0]: 1}
+    # Heap of (weight, tiebreak, [symbols...]); merging two nodes adds one
+    # bit to the depth of every symbol underneath.
+    lengths = {symbol: 0 for symbol, _ in items}
+    heap: list[tuple[int, int, list[int]]] = [
+        (count, i, [symbol]) for i, (symbol, count) in enumerate(items)
+    ]
+    heapq.heapify(heap)
+    next_tiebreak = len(items)
+    while len(heap) > 1:
+        w1, _, syms1 = heapq.heappop(heap)
+        w2, _, syms2 = heapq.heappop(heap)
+        for s in syms1:
+            lengths[s] += 1
+        for s in syms2:
+            lengths[s] += 1
+        syms1.extend(syms2)
+        heapq.heappush(heap, (w1 + w2, next_tiebreak, syms1))
+        next_tiebreak += 1
+    return lengths
+
+
+def canonical_codes(lengths: Mapping[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical code words: ``{symbol: (code, length)}``.
+
+    Symbols are sorted by (length, symbol); codes count upward, shifting
+    left at each length increase.  The Kraft inequality is verified so an
+    invalid length assignment cannot silently produce an ambiguous code.
+    """
+    if not lengths:
+        raise CompressionError("no code lengths given")
+    kraft = sum(2.0 ** -length for length in lengths.values())
+    if kraft > 1.0 + 1e-9:
+        raise CompressionError(
+            f"code lengths violate the Kraft inequality (sum {kraft:.6f})"
+        )
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    previous_length = ordered[0][1]
+    for symbol, length in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """An immutable canonical Huffman code over integer symbols."""
+
+    codes: dict[int, tuple[int, int]]
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies: Mapping[int, int],
+        max_length: int | None = None,
+    ) -> "HuffmanCode":
+        """Build a code; bound code lengths to ``max_length`` if given.
+
+        The bounded variant is the paper's answer to "Huffman will produce
+        very long output codes that are incompatible with IFetch hardware"
+        (Section 2.2); it uses the package–merge algorithm.
+        """
+        if max_length is None:
+            lengths = code_lengths_from_frequencies(frequencies)
+        else:
+            from repro.compression.bounded import (
+                length_limited_code_lengths,
+            )
+
+            lengths = length_limited_code_lengths(frequencies, max_length)
+        return cls(canonical_codes(lengths))
+
+    # ----------------------------------------------------------- queries
+    @property
+    def symbols(self) -> list[int]:
+        return sorted(self.codes)
+
+    @property
+    def num_entries(self) -> int:
+        """k in the paper's decoder model: dictionary entries."""
+        return len(self.codes)
+
+    @property
+    def max_code_length(self) -> int:
+        """n in the paper's decoder model: longest Huffman code (bits)."""
+        return max(length for _, length in self.codes.values())
+
+    def entry_width(self, symbol_bits: int) -> int:
+        """m in the paper's decoder model: longest dictionary entry."""
+        return symbol_bits
+
+    def code_length(self, symbol: int) -> int:
+        return self.codes[symbol][1]
+
+    def expected_length(self, frequencies: Mapping[int, int]) -> float:
+        """Average output bits per symbol under ``frequencies``."""
+        total = sum(frequencies.values())
+        if total == 0:
+            raise CompressionError("empty frequency table")
+        return (
+            sum(
+                count * self.codes[symbol][1]
+                for symbol, count in frequencies.items()
+            )
+            / total
+        )
+
+    # ------------------------------------------------------ encode/decode
+    def encode_symbol(self, symbol: int, writer: BitWriter) -> None:
+        try:
+            code, length = self.codes[symbol]
+        except KeyError:
+            raise CompressionError(
+                f"symbol {symbol} not in the Huffman dictionary"
+            ) from None
+        writer.write(code, length)
+
+    def encoded_length(self, symbols: Iterable[int]) -> int:
+        return sum(self.codes[s][1] for s in symbols)
+
+    def make_decoder(self) -> "HuffmanDecoder":
+        return HuffmanDecoder(self)
+
+
+class HuffmanDecoder:
+    """Table decoder for a canonical code (software stand-in for the PLA)."""
+
+    def __init__(self, code: HuffmanCode) -> None:
+        self._by_length: dict[int, dict[int, int]] = {}
+        for symbol, (word, length) in code.codes.items():
+            self._by_length.setdefault(length, {})[word] = symbol
+        self._lengths = sorted(self._by_length)
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Consume one code word from ``reader`` and return its symbol."""
+        word = 0
+        consumed = 0
+        for length in self._lengths:
+            word = (word << (length - consumed)) | reader.read(
+                length - consumed
+            )
+            consumed = length
+            table = self._by_length.get(length)
+            if table is not None and word in table:
+                return table[word]
+        raise CompressionError(
+            f"bit pattern {word:b} ({consumed} bits) matches no code word"
+        )

@@ -1,0 +1,172 @@
+"""Per-program studies: compile once, emulate once, reuse everywhere.
+
+A :class:`ProgramStudy` owns the expensive artifacts of one benchmark at
+one scale — the compiled image, the emulator's block trace, the
+compressed images per scheme, and fetch-simulation results — and
+memoizes them.  The module-level :func:`study_for` cache shares studies
+across experiments within one process (all of Figures 5–14 reuse the
+same trace, exactly like the paper's single trace-collection run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler import CompiledProgram
+from repro.compression.alphabets import SIX_STREAM_CONFIGS
+from repro.compression.schemes import (
+    BaselineScheme,
+    ByteHuffmanScheme,
+    CompressedImage,
+    CompressionScheme,
+    FullOpHuffmanScheme,
+    StreamHuffmanScheme,
+)
+from repro.emulator import RunResult, run_image
+from repro.errors import ConfigurationError
+from repro.fetch.config import FetchConfig
+from repro.fetch.engine import FetchMetrics, ideal_metrics, simulate_fetch
+from repro.programs.suite import SUITE, compile_benchmark
+from repro.tailored.encoding import TailoredScheme
+
+#: Scheme presentation order in reports (mirrors Figure 5's legend).
+SCHEME_ORDER = ("byte", "stream", "stream_1", "full", "tailored")
+
+
+def _scheme_factory(key: str) -> CompressionScheme:
+    if key == "base":
+        return BaselineScheme()
+    if key == "byte":
+        return ByteHuffmanScheme()
+    if key == "full":
+        return FullOpHuffmanScheme()
+    if key == "tailored":
+        return TailoredScheme()
+    if key == "dict":
+        from repro.compression.dictionary import DictionaryScheme
+
+        return DictionaryScheme()
+    for config in SIX_STREAM_CONFIGS:
+        if config.name == key:
+            return StreamHuffmanScheme(config)
+    raise ConfigurationError(f"unknown scheme {key!r}")
+
+
+@dataclass
+class ProgramStudy:
+    """All artifacts for one (benchmark, scale) pair."""
+
+    name: str
+    scale: Optional[int] = None
+    _compiled: Optional[CompiledProgram] = None
+    _run: Optional[RunResult] = None
+    _images: dict = field(default_factory=dict)
+    _fetch: dict = field(default_factory=dict)
+
+    # -------------------------------------------------------- artifacts
+    @property
+    def compiled(self) -> CompiledProgram:
+        if self._compiled is None:
+            self._compiled = compile_benchmark(self.name, self.scale)
+        return self._compiled
+
+    @property
+    def run(self) -> RunResult:
+        if self._run is None:
+            module = self.compiled.module
+            self._run = run_image(self.compiled.image, module.globals)
+        return self._run
+
+    def verify_checksum(self) -> bool:
+        """Does the emulated run match the pure-Python oracle?"""
+        spec = SUITE[self.name]
+        scale = self.scale if self.scale is not None else spec.default_scale
+        expected = spec.reference_checksum(scale)
+        module = self.compiled.module
+        address = module.globals["result"].address
+        return self.run.machine.load_word(address) == expected
+
+    # ------------------------------------------------------ compression
+    def compressed(self, scheme_key: str) -> CompressedImage:
+        """The program re-encoded under ``scheme_key`` (cached)."""
+        if scheme_key not in self._images:
+            scheme = _scheme_factory(scheme_key)
+            self._images[scheme_key] = scheme.compress(self.compiled.image)
+        return self._images[scheme_key]
+
+    def stream_results(self) -> dict[str, CompressedImage]:
+        """All six stream configurations (the paper's search space)."""
+        return {
+            cfg.name: self.compressed(cfg.name)
+            for cfg in SIX_STREAM_CONFIGS
+        }
+
+    def best_stream_keys(self) -> tuple[str, str]:
+        """(smallest-decoder, smallest-size) stream config names.
+
+        The paper calls these ``stream`` and ``stream_1`` in Figure 5.
+        """
+        from repro.compression.decoder_cost import scheme_decoder_cost
+
+        results = self.stream_results()
+        by_decoder = min(
+            results,
+            key=lambda k: scheme_decoder_cost(results[k]).transistors,
+        )
+        by_size = min(results, key=lambda k: results[k].total_code_bytes)
+        return by_decoder, by_size
+
+    # ------------------------------------------------------------ fetch
+    def fetch_metrics(
+        self,
+        scheme: str,
+        config: Optional[FetchConfig] = None,
+        *,
+        scaled: bool = True,
+    ) -> FetchMetrics:
+        """Fetch simulation for ``base``/``tailored``/``compressed``/``ideal``.
+
+        The Compressed organization runs on the Full-op Huffman image —
+        the paper's choice for its cache study ("'Compressed' uses the
+        Full op compression scheme").  ``scaled`` (default) selects the
+        pressure-scaled cache pair that puts these miniature benchmarks
+        under the same cache pressure SPEC put on the paper's 16KB
+        caches; pass ``scaled=False`` for the paper's literal geometry.
+        """
+        key = (scheme, scaled, id(config) if config is not None else None)
+        if key in self._fetch:
+            return self._fetch[key]
+        trace = self.run.block_trace
+        if scheme == "ideal":
+            metrics = ideal_metrics(self.compressed("base"), trace)
+        elif scheme in ("base", "tailored", "compressed"):
+            image_key = {"base": "base", "tailored": "tailored",
+                         "compressed": "full"}[scheme]
+            metrics = simulate_fetch(
+                self.compressed(image_key),
+                trace,
+                config or FetchConfig.for_scheme(scheme, scaled=scaled),
+            )
+        else:
+            raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+        self._fetch[key] = metrics
+        return metrics
+
+
+_studies: dict[tuple[str, Optional[int]], ProgramStudy] = {}
+
+
+def study_for(name: str, scale: Optional[int] = None) -> ProgramStudy:
+    """Shared, memoized study for a benchmark at a scale."""
+    key = (name, scale)
+    if key not in _studies:
+        if name not in SUITE:
+            raise ConfigurationError(f"unknown benchmark {name!r}")
+        _studies[key] = ProgramStudy(name, scale)
+    return _studies[key]
+
+
+def clear_caches() -> None:
+    """Drop all memoized studies (tests use this for isolation)."""
+    _studies.clear()

@@ -1,0 +1,14 @@
+"""The TEPIC emulator (the paper's YULA stand-in).
+
+Executes a compiled :class:`~repro.isa.image.ProgramImage` with VLIW
+semantics — within a MultiOp all sources are read before any destination
+is written — and emits the block-level instruction-address trace the
+cache studies consume, exactly the role of the paper's compiler-inserted
+trace annotations ("these annotations are not included when determining
+instruction addresses or performing compression" — here the trace is a
+side channel by construction).
+"""
+
+from repro.emulator.machine import Machine, RunResult, run_image
+
+__all__ = ["Machine", "RunResult", "run_image"]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific failures derive from :class:`ReproError` so callers can
+catch the library's own errors without masking programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """A value does not fit an instruction field or format."""
+
+
+class DecodingError(ReproError):
+    """A bit pattern cannot be decoded under the active encoding."""
+
+
+class CompilerError(ReproError):
+    """The compiler was given an ill-formed program."""
+
+
+class ScheduleError(CompilerError):
+    """Instruction scheduling could not satisfy machine constraints."""
+
+class RegisterAllocationError(CompilerError):
+    """Register allocation ran out of architectural registers."""
+
+
+class EmulationError(ReproError):
+    """The emulator encountered an invalid machine state."""
+
+
+class CompressionError(ReproError):
+    """A compression scheme could not encode or verify an image."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or study was configured inconsistently."""

@@ -1,0 +1,135 @@
+"""The Address Translation Buffer and its backing table (Section 3.3).
+
+The ATT (Address Translation Table) has one compiler-generated entry per
+block mapping the original address space onto the compressed one, plus
+the side information fetch needs: the number of memory lines to fetch
+and the number of MultiOps in the block.  The ATB caches ATT entries
+(set-associative, LRU); each live entry also hosts the block's branch
+predictor, so an ATB eviction loses prediction history — the same
+coupling the paper describes.
+
+:func:`att_bytes` sizes the static ATT honestly from its field widths;
+the paper reports this lands around 15.5% of the image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compression.schemes import CompressedImage
+from repro.errors import ConfigurationError
+from repro.fetch.branch_predict import BlockPredictor
+from repro.fetch.config import CacheGeometry
+
+
+@dataclass
+class ATBEntry:
+    block_id: int
+    predictor: BlockPredictor
+
+
+class ATB:
+    """Set-associative buffer of ATT entries with LRU replacement."""
+
+    def __init__(self, entries: int = 128, ways: int = 4) -> None:
+        if entries % ways:
+            raise ConfigurationError(
+                f"ATB entries {entries} not divisible by ways {ways}"
+            )
+        self.num_sets = entries // ways
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigurationError(
+                f"ATB set count {self.num_sets} is not a power of two"
+            )
+        self.ways = ways
+        # Per set: insertion-ordered dict block_id -> entry (LRU first).
+        self._sets: list[dict[int, ATBEntry]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, block_id: int) -> dict[int, ATBEntry]:
+        return self._sets[block_id & (self.num_sets - 1)]
+
+    def access(self, block_id: int) -> tuple[ATBEntry, bool]:
+        """Look up a block; on miss, fault the ATT entry in (fresh state).
+
+        Returns ``(entry, hit)``.
+        """
+        bucket = self._set_for(block_id)
+        entry = bucket.pop(block_id, None)
+        if entry is not None:
+            bucket[block_id] = entry  # move to MRU position
+            self.hits += 1
+            return entry, True
+        self.misses += 1
+        if len(bucket) >= self.ways:
+            bucket.pop(next(iter(bucket)))  # evict LRU
+        entry = ATBEntry(block_id=block_id, predictor=BlockPredictor())
+        bucket[block_id] = entry
+        return entry, False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def _bits_for(value: int) -> int:
+    """Bits to represent values in [0, value]."""
+    return max(1, value.bit_length())
+
+
+def att_entry_bits(
+    compressed: CompressedImage, geometry: CacheGeometry
+) -> int:
+    """Width of one ATT entry for this image/geometry.
+
+    Per Section 3.3 an entry provides: the block's address in compressed
+    memory, the number of memory lines to fetch, the number of MultiOps
+    (to find the last PC), and the next sequential block's address for
+    pipelined fetch.  Entries are indexed by original block id, so the
+    original address itself is implicit.
+    """
+    image = compressed.image
+    addr_bits = _bits_for(max(1, compressed.total_code_bytes - 1))
+    max_lines = max(
+        len(geometry.lines_of(compressed.block_offset(b.block_id),
+                              max(1, compressed.block_size(b.block_id))))
+        for b in image
+    )
+    line_bits = _bits_for(max_lines)
+    mop_bits = _bits_for(max(b.mop_count for b in image))
+    return addr_bits + line_bits + mop_bits + addr_bits  # +next address
+
+
+def att_bytes(compressed: CompressedImage, geometry: CacheGeometry) -> int:
+    """Static ATT size in bytes (stored compressed in ROM; the paper
+    keeps it "in compressed form" — modeled as bit-packed entries)."""
+    bits = att_entry_bits(compressed, geometry) * len(compressed.image)
+    return (bits + 7) // 8
+
+
+def att_overhead_percent(
+    compressed: CompressedImage, geometry: CacheGeometry
+) -> float:
+    """ATT size as % of the compressed code segment (paper: ~15.5%)."""
+    return 100.0 * att_bytes(compressed, geometry) / max(
+        1, compressed.total_code_bytes
+    )
+
+
+def total_rom_bytes(
+    compressed: CompressedImage, geometry: CacheGeometry
+) -> int:
+    """Code + ATT + (for Huffman schemes) the decode dictionaries."""
+    return (
+        compressed.total_code_bytes
+        + att_bytes(compressed, geometry)
+        + compressed.table_bytes
+    )

@@ -1,0 +1,179 @@
+"""Per-block next-block prediction (paper Section 3.4).
+
+"For every block entry, there is one branch predictor with
+taken/not-taken and target address prediction information.  It predicts
+the outcome of the last instruction of the block...  To predict the
+outcome of the branch, a two-bit saturating counter is used [Smith].
+To predict the target address, the 'last-target address' (if branch
+predicted taken), or next sequential address (otherwise) predictor is
+used."
+
+Direct branches/calls carry their target statically, so the last-target
+slot effectively matters for returns (whose target varies by call site).
+Predictor state lives inside the owning ATB entry and is lost on ATB
+eviction.
+
+The predictor consumes :class:`BlockMeta` — the per-block control
+summary the fetch engine precomputes from the image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.image import BasicBlockImage
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import TRUE_PREDICATE
+
+#: 2-bit saturating counter states; >= WEAK_TAKEN predicts taken.
+STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = range(4)
+
+#: Terminator kinds in BlockMeta.
+KIND_FALLTHROUGH = 0
+KIND_COND_BRANCH = 1
+KIND_JUMP = 2
+KIND_CALL = 3
+KIND_RET = 4
+KIND_HALT = 5
+
+
+@dataclass(frozen=True)
+class BlockMeta:
+    """Control summary of one block, precomputed for the fetch loop."""
+
+    block_id: int
+    kind: int
+    target: Optional[int]
+    fallthrough: Optional[int]
+    mop_count: int
+    op_count: int
+
+    @classmethod
+    def from_block(cls, block: BasicBlockImage) -> "BlockMeta":
+        term = block.terminator
+        if term is None:
+            kind, target = KIND_FALLTHROUGH, None
+        elif term.opcode is Opcode.HALT:
+            kind, target = KIND_HALT, None
+        elif term.opcode is Opcode.RET:
+            kind, target = KIND_RET, None
+        elif term.opcode is Opcode.CALL:
+            kind, target = KIND_CALL, term.target_block
+        elif term.predicate == TRUE_PREDICATE:
+            kind, target = KIND_JUMP, term.target_block
+        else:
+            kind, target = KIND_COND_BRANCH, term.target_block
+        return cls(
+            block_id=block.block_id,
+            kind=kind,
+            target=target,
+            fallthrough=block.fallthrough,
+            mop_count=block.mop_count,
+            op_count=block.op_count,
+        )
+
+
+class GshareUnit:
+    """A gshare next-block predictor (the paper's future-work item).
+
+    "Theoretically more complex branch predictors could be used (e.g.,
+    gshare or PAs Yeh/Patt predictor)" — Section 3.4.  A global branch
+    history register XORs with the block id to index a shared table of
+    2-bit counters; targets still come from the static instruction
+    (direct branches) or the ATB entry's last-target slot (returns), so
+    this unit *augments* the per-entry state rather than replacing it.
+    """
+
+    def __init__(self, history_bits: int = 10) -> None:
+        if not 1 <= history_bits <= 24:
+            raise ValueError(f"bad history width {history_bits}")
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self.history = 0
+        self.counters = [WEAK_TAKEN] * (1 << history_bits)
+
+    def _index(self, block_id: int) -> int:
+        return (block_id ^ self.history) & self._mask
+
+    def predict(
+        self, meta: BlockMeta, entry_predictor: "BlockPredictor"
+    ) -> Optional[int]:
+        kind = meta.kind
+        if kind == KIND_FALLTHROUGH:
+            return meta.fallthrough
+        if kind == KIND_HALT:
+            return None
+        if kind == KIND_RET:
+            return entry_predictor.last_target
+        if kind in (KIND_JUMP, KIND_CALL):
+            return meta.target
+        if self.counters[self._index(meta.block_id)] >= WEAK_TAKEN:
+            return meta.target
+        return meta.fallthrough
+
+    def update(
+        self,
+        meta: BlockMeta,
+        entry_predictor: "BlockPredictor",
+        actual_next: int,
+    ) -> None:
+        kind = meta.kind
+        if kind in (KIND_RET, KIND_CALL):
+            entry_predictor.last_target = actual_next
+            return
+        if kind != KIND_COND_BRANCH:
+            return
+        index = self._index(meta.block_id)
+        taken = actual_next == meta.target
+        if taken:
+            self.counters[index] = min(
+                STRONG_TAKEN, self.counters[index] + 1
+            )
+        else:
+            self.counters[index] = max(
+                STRONG_NOT_TAKEN, self.counters[index] - 1
+            )
+        self.history = ((self.history << 1) | int(taken)) & self._mask
+
+
+class BlockPredictor:
+    """Taken/not-taken counter plus a last-target slot for one block."""
+
+    __slots__ = ("counter", "last_target")
+
+    def __init__(self) -> None:
+        # Branches are taken more often than not; start weakly taken.
+        self.counter = WEAK_TAKEN
+        self.last_target: Optional[int] = None
+
+    def predict(self, meta: BlockMeta) -> Optional[int]:
+        """Predicted next block id (``None`` after a HALT block)."""
+        kind = meta.kind
+        if kind == KIND_FALLTHROUGH:
+            return meta.fallthrough
+        if kind == KIND_HALT:
+            return None
+        if kind == KIND_RET:
+            return self.last_target
+        if kind in (KIND_JUMP, KIND_CALL):
+            return meta.target
+        # Conditional branch.
+        if self.counter >= WEAK_TAKEN:
+            return meta.target
+        return meta.fallthrough
+
+    def update(self, meta: BlockMeta, actual_next: int) -> None:
+        """Train on the observed successor."""
+        kind = meta.kind
+        if kind in (KIND_FALLTHROUGH, KIND_HALT, KIND_JUMP):
+            return
+        if kind in (KIND_RET, KIND_CALL):
+            self.last_target = actual_next
+            return
+        taken = actual_next == meta.target
+        if taken:
+            self.counter = min(STRONG_TAKEN, self.counter + 1)
+            self.last_target = actual_next
+        else:
+            self.counter = max(STRONG_NOT_TAKEN, self.counter - 1)

@@ -1,0 +1,64 @@
+"""The L0 buffer of decompressed ops (paper Section 4).
+
+"One block is decompressed at a time and is held in a buffer, which is
+accessed in parallel with (but has priority over) the main cache.  This
+buffer is organized as a small fully associative cache ...  The size of
+the L0 buffer was set at 32 op entries (160 bytes)."
+
+The buffer holds whole decompressed blocks (fully associative by block,
+LRU).  Blocks larger than the capacity cannot reside and always miss.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class L0Buffer:
+    """Fully-associative decompressed-block buffer, sized in ops."""
+
+    def __init__(self, capacity_ops: int = 32) -> None:
+        if capacity_ops <= 0:
+            raise ConfigurationError(
+                f"L0 capacity must be positive, got {capacity_ops}"
+            )
+        self.capacity_ops = capacity_ops
+        self._blocks: dict[int, int] = {}  # block_id -> op_count, LRU first
+        self._used_ops = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, block_id: int, op_count: int) -> bool:
+        """Probe for a block; on miss, install it (evicting LRU blocks)."""
+        if block_id in self._blocks:
+            ops = self._blocks.pop(block_id)
+            self._blocks[block_id] = ops  # move to MRU
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.install(block_id, op_count)
+        return False
+
+    def install(self, block_id: int, op_count: int) -> None:
+        """Place a freshly decompressed block (no-op if it cannot fit)."""
+        if op_count > self.capacity_ops:
+            return
+        if block_id in self._blocks:
+            self._used_ops -= self._blocks.pop(block_id)
+        while self._used_ops + op_count > self.capacity_ops:
+            lru = next(iter(self._blocks))
+            self._used_ops -= self._blocks.pop(lru)
+        self._blocks[block_id] = op_count
+        self._used_ops += op_count
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def resident_ops(self) -> int:
+        return self._used_ops

@@ -1,0 +1,143 @@
+"""Complex blocks as atomic fetch units (the paper's future work).
+
+Section 3.1: "Use of more complicated blocks is a matter of performance,
+not correctness" — and Section 7 lists "usage of complex blocks as fetch
+units" as future work.  This module implements the sound core of that
+idea: chains of blocks linked by *fallthrough-only* edges where the
+successor has exactly one predecessor are merged into single fetch
+units.  Entering the chain head guarantees executing the whole chain, so
+the merged unit is exactly as atomic as a basic block — no side-exit
+invalidation machinery is needed (that machinery is what full
+superblocks/traces would add).
+
+The merge produces an ordinary :class:`~repro.isa.image.ProgramImage`
+(branch targets remapped to unit ids), so every compression scheme and
+the fetch engine work on it unchanged; :func:`transform_trace` folds a
+block-level trace onto unit ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.isa.image import BasicBlockImage, ProgramImage
+from repro.isa.multiop import MultiOp
+
+
+def _fallthrough_only(block: BasicBlockImage) -> bool:
+    """True when control *always* continues to the fallthrough block."""
+    return block.terminator is None and block.fallthrough is not None
+
+
+def _predecessor_counts(image: ProgramImage) -> list[int]:
+    counts = [0] * len(image)
+    for block in image:
+        for target in block.branch_targets:
+            counts[target] += 1
+        if block.fallthrough is not None:
+            counts[block.fallthrough] += 1
+    counts[image.entry_block] += 1  # entered from reset
+    return counts
+
+
+def form_chains(image: ProgramImage) -> list[list[int]]:
+    """Partition blocks into fallthrough chains (each a fetch unit)."""
+    preds = _predecessor_counts(image)
+    chained_into: dict[int, int] = {}
+    for block in image:
+        if (
+            _fallthrough_only(block)
+            and preds[block.fallthrough] == 1
+            and block.fallthrough != block.block_id
+        ):
+            chained_into[block.fallthrough] = block.block_id
+    chains = []
+    for block in image:
+        if block.block_id in chained_into:
+            continue  # not a chain head
+        chain = [block.block_id]
+        cursor = block
+        while (
+            _fallthrough_only(cursor)
+            and preds[cursor.fallthrough] == 1
+            and cursor.fallthrough != cursor.block_id
+        ):
+            chain.append(cursor.fallthrough)
+            cursor = image.block(cursor.fallthrough)
+        chains.append(chain)
+    return chains
+
+
+def merge_fallthrough_chains(
+    image: ProgramImage,
+) -> tuple[ProgramImage, list[int]]:
+    """Merge chains into fetch units.
+
+    Returns ``(merged_image, unit_of_block)`` where ``unit_of_block[b]``
+    is the merged block id holding original block ``b``.  Non-head chain
+    members are never branch targets (they have a single fallthrough
+    predecessor), so target remapping is total.
+    """
+    chains = form_chains(image)
+    unit_of_block = [0] * len(image)
+    for unit_id, chain in enumerate(chains):
+        for member in chain:
+            unit_of_block[member] = unit_id
+    merged_blocks = []
+    for unit_id, chain in enumerate(chains):
+        mops: list[MultiOp] = []
+        for member in chain:
+            for mop in image.block(member).mops:
+                mops.append(
+                    MultiOp.of(
+                        tuple(
+                            _remap_op(op, unit_of_block) for op in mop
+                        )
+                    )
+                )
+        tail = image.block(chain[-1])
+        fallthrough = (
+            unit_of_block[tail.fallthrough]
+            if tail.fallthrough is not None
+            else None
+        )
+        merged_blocks.append(
+            BasicBlockImage(
+                block_id=unit_id,
+                label="+".join(image.block(m).label for m in chain),
+                mops=tuple(mops),
+                fallthrough=fallthrough,
+                function=image.block(chain[0]).function,
+            )
+        )
+    merged = ProgramImage(
+        f"{image.name}+chains",
+        merged_blocks,
+        entry_block=unit_of_block[image.entry_block],
+    )
+    return merged, unit_of_block
+
+
+def _remap_op(op, unit_of_block):
+    if op.target_block is None:
+        return op
+    return replace(op, target_block=unit_of_block[op.target_block])
+
+
+def transform_trace(trace, image: ProgramImage, unit_of_block) -> list[int]:
+    """Fold a block trace onto fetch-unit ids.
+
+    Chain heads map to their unit; non-head members are dropped (they
+    always follow their intra-unit predecessor in a valid trace).
+    """
+    heads = set()
+    for chain in form_chains(image):
+        heads.add(chain[0])
+    out = []
+    for block_id in trace:
+        if block_id in heads:
+            out.append(unit_of_block[block_id])
+        elif not 0 <= block_id < len(image):
+            raise ConfigurationError(f"trace block {block_id} invalid")
+    return out

@@ -1,0 +1,77 @@
+"""The TEPIC (TINKER EPIC) embedded VLIW instruction-set architecture.
+
+This package encodes the paper's Table 2: a 40-bit, seven-format EPIC
+encoding closely related to the HP PlayDoh specification and to IA-64.  It
+provides:
+
+* the architectural register files (32 GPRs, 32 FPRs, 32 predicate
+  registers),
+* operation formats with exact field widths from Table 2,
+* :class:`~repro.isa.operation.Operation` — one RISC-like op with both its
+  semantic content (opcode, registers, immediates) and its 40-bit binary
+  encoding,
+* :class:`~repro.isa.multiop.MultiOp` — a VLIW group (MOP) using the
+  zero-NOP *tail bit* encoding, and
+* :class:`~repro.isa.image.ProgramImage` — a laid-out linear code image of
+  basic blocks, the unit the compression schemes and the fetch simulators
+  operate on.
+"""
+
+from repro.isa.disasm import (
+    disassemble_bytes,
+    disassemble_image,
+    round_trip_check,
+)
+from repro.isa.fields import Field, Format
+from repro.isa.formats import (
+    BRANCH_FORMAT,
+    FORMATS,
+    FP_FORMAT,
+    INT_ALU_FORMAT,
+    INT_CMPP_FORMAT,
+    LOAD_FORMAT,
+    LOAD_IMM_FORMAT,
+    OP_BITS,
+    STORE_FORMAT,
+)
+from repro.isa.image import BasicBlockImage, ProgramImage
+from repro.isa.multiop import MultiOp
+from repro.isa.opcodes import Opcode, OpType
+from repro.isa.operation import Operation
+from repro.isa.registers import (
+    NUM_FPR,
+    NUM_GPR,
+    NUM_PR,
+    Register,
+    RegisterBank,
+    TRUE_PREDICATE,
+)
+
+__all__ = [
+    "BasicBlockImage",
+    "disassemble_bytes",
+    "disassemble_image",
+    "round_trip_check",
+    "BRANCH_FORMAT",
+    "Field",
+    "Format",
+    "FORMATS",
+    "FP_FORMAT",
+    "INT_ALU_FORMAT",
+    "INT_CMPP_FORMAT",
+    "LOAD_FORMAT",
+    "LOAD_IMM_FORMAT",
+    "MultiOp",
+    "NUM_FPR",
+    "NUM_GPR",
+    "NUM_PR",
+    "OP_BITS",
+    "Opcode",
+    "Operation",
+    "OpType",
+    "ProgramImage",
+    "Register",
+    "RegisterBank",
+    "STORE_FORMAT",
+    "TRUE_PREDICATE",
+]

@@ -1,0 +1,70 @@
+"""Disassembler: program images and raw TEPIC byte streams to text.
+
+Two entry points:
+
+* :func:`disassemble_image` — structured listing of a laid-out program
+  (block labels, baseline addresses, MultiOp grouping), used by the
+  examples and handy in a REPL;
+* :func:`disassemble_bytes` — decodes a raw baseline-encoded byte
+  stream back into operations (the hardware-decoder view), the inverse
+  of :meth:`ProgramImage.encode_baseline`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.isa.image import OP_BYTES, ProgramImage
+from repro.isa.operation import Operation
+
+
+def disassemble_bytes(data: bytes) -> list[Operation]:
+    """Decode a baseline 40-bit-op byte stream."""
+    if len(data) % OP_BYTES:
+        raise DecodingError(
+            f"{len(data)} bytes is not a whole number of 40-bit ops"
+        )
+    return [
+        Operation.decode(int.from_bytes(data[i : i + OP_BYTES], "big"))
+        for i in range(0, len(data), OP_BYTES)
+    ]
+
+
+def disassemble_image(image: ProgramImage) -> str:
+    """A full listing with addresses, labels and MultiOp brackets."""
+    lines = [f"; program {image.name!r}: {image.total_ops} ops in "
+             f"{len(image)} blocks"]
+    addresses = image.baseline_addresses()
+    for block in image:
+        address = addresses[block.block_id]
+        lines.append("")
+        lines.append(
+            f"{address:06x} <{block.label}>:  ; block {block.block_id}"
+            + (
+                f" -> falls through to {block.fallthrough}"
+                if block.fallthrough is not None
+                else ""
+            )
+        )
+        cursor = address
+        for mop in block.mops:
+            for i, op in enumerate(mop):
+                bracket = "{" if i == 0 else " "
+                close = " }" if i == len(mop) - 1 else ""
+                lines.append(f"{cursor:06x}   {bracket} {op}{close}")
+                cursor += OP_BYTES
+    return "\n".join(lines)
+
+
+def round_trip_check(image: ProgramImage) -> bool:
+    """Encode the image and decode it back; True when ops match.
+
+    The debug ``note`` field is not part of the encoding, so comparison
+    happens on re-encoded words.
+    """
+    decoded = disassemble_bytes(image.encode_baseline())
+    original = list(image.all_operations())
+    if len(decoded) != len(original):
+        return False
+    return all(
+        a.encode() == b.encode() for a, b in zip(decoded, original)
+    )

@@ -1,0 +1,194 @@
+"""Laid-out program images: ordered basic blocks of MultiOps.
+
+The program image is the interface between the compiler back end and
+everything downstream: the emulator executes it, the compression schemes
+re-encode it, and the fetch simulators treat its basic blocks as *atomic
+units of instruction fetch* (Section 3.1).  Blocks are byte aligned in
+every encoding (Section 3.3: "aligning the first op of a block to byte
+boundaries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import EncodingError
+from repro.isa.formats import OP_BITS
+from repro.isa.multiop import MultiOp
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import Operation
+
+#: Baseline bytes per op (40 bits).
+OP_BYTES = OP_BITS // 8
+
+
+@dataclass
+class BasicBlockImage:
+    """One scheduled basic block: an atomic unit of instruction fetch.
+
+    ``fallthrough`` is the id of the textually-next block reached when the
+    terminating branch is not taken (or when the block has no branch);
+    ``None`` marks blocks ending in RET/HALT or unconditional transfers.
+    """
+
+    block_id: int
+    label: str
+    mops: tuple[MultiOp, ...]
+    fallthrough: Optional[int] = None
+    #: Function name this block belongs to (for reporting).
+    function: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.block_id < (1 << 16):
+            raise EncodingError(
+                f"block id {self.block_id} does not fit the 16-bit branch "
+                "target field"
+            )
+        if not self.mops:
+            raise EncodingError(f"block {self.label!r} has no MultiOps")
+
+    @property
+    def ops(self) -> tuple[Operation, ...]:
+        return tuple(op for mop in self.mops for op in mop)
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(mop) for mop in self.mops)
+
+    @property
+    def mop_count(self) -> int:
+        return len(self.mops)
+
+    @property
+    def baseline_bytes(self) -> int:
+        """Block size in the baseline encoding (byte aligned by nature)."""
+        return self.op_count * OP_BYTES
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        """The control-transfer op ending the block, if any."""
+        last = self.mops[-1].ops[-1]
+        if last.is_control_transfer:
+            return last
+        for op in self.mops[-1]:
+            if op.is_control_transfer:
+                return op
+        return None
+
+    @property
+    def branch_targets(self) -> tuple[int, ...]:
+        """Static successor block ids reachable by taken branches."""
+        targets = []
+        for op in self.ops:
+            if op.target_block is not None and op.opcode in (
+                Opcode.BR,
+                Opcode.CALL,
+            ):
+                targets.append(op.target_block)
+        return tuple(targets)
+
+    def encode_baseline(self) -> bytes:
+        """The block's bytes in the baseline 40-bit encoding."""
+        return b"".join(op.encode_bytes() for mop in self.mops for op in mop)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:  ; block {self.block_id}"]
+        lines.extend(f"  {mop}" for mop in self.mops)
+        return "\n".join(lines)
+
+
+class ProgramImage:
+    """A complete laid-out program: blocks in memory order.
+
+    Block ids equal layout order indices, so the id doubles as the
+    "original address space" identifier the ATB translates (Section 3.3).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        blocks: Sequence[BasicBlockImage],
+        entry_block: int = 0,
+    ) -> None:
+        blocks = list(blocks)
+        for index, block in enumerate(blocks):
+            if block.block_id != index:
+                raise EncodingError(
+                    f"block {block.label!r} has id {block.block_id}, "
+                    f"expected layout index {index}"
+                )
+        if not blocks:
+            raise EncodingError(f"program {name!r} has no blocks")
+        if not 0 <= entry_block < len(blocks):
+            raise EncodingError(f"entry block {entry_block} out of range")
+        self.name = name
+        self.blocks = blocks
+        self.entry_block = entry_block
+        self._by_label = {b.label: b for b in blocks}
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        n = len(self.blocks)
+        for block in self.blocks:
+            for target in block.branch_targets:
+                if not 0 <= target < n:
+                    raise EncodingError(
+                        f"block {block.label!r} branches to missing block "
+                        f"{target}"
+                    )
+            if block.fallthrough is not None and not (
+                0 <= block.fallthrough < n
+            ):
+                raise EncodingError(
+                    f"block {block.label!r} falls through to missing block "
+                    f"{block.fallthrough}"
+                )
+
+    # ------------------------------------------------------------ access
+    def __iter__(self) -> Iterator[BasicBlockImage]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block(self, block_id: int) -> BasicBlockImage:
+        return self.blocks[block_id]
+
+    def block_by_label(self, label: str) -> BasicBlockImage:
+        return self._by_label[label]
+
+    def all_operations(self) -> Iterator[Operation]:
+        for block in self.blocks:
+            for mop in block.mops:
+                yield from mop
+
+    # ------------------------------------------------------------- sizing
+    @property
+    def total_ops(self) -> int:
+        return sum(b.op_count for b in self.blocks)
+
+    @property
+    def total_mops(self) -> int:
+        return sum(b.mop_count for b in self.blocks)
+
+    @property
+    def baseline_code_bytes(self) -> int:
+        """Code-segment size in the baseline encoding."""
+        return sum(b.baseline_bytes for b in self.blocks)
+
+    def baseline_addresses(self) -> list[int]:
+        """Byte address of each block in the baseline layout."""
+        addresses = []
+        cursor = 0
+        for block in self.blocks:
+            addresses.append(cursor)
+            cursor += block.baseline_bytes
+        return addresses
+
+    def encode_baseline(self) -> bytes:
+        """The full baseline code segment."""
+        return b"".join(b.encode_baseline() for b in self.blocks)
+
+    def __str__(self) -> str:
+        return "\n".join(str(b) for b in self.blocks)

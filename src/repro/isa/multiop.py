@@ -1,0 +1,75 @@
+"""VLIW groups (MultiOps) with the zero-NOP tail-bit encoding.
+
+A MultiOp (MOP) is the set of RISC-like ops issued together in one cycle.
+TEPIC avoids storing NOPs by marking the *last* op of each MOP with the
+tail bit (``T``); fetch hardware scans for tail bits to find MOP
+boundaries (Section 2.1 and [7] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import EncodingError
+from repro.isa.formats import OP_BITS
+from repro.isa.operation import Operation
+
+#: Issue width of the modeled core: 6 ops per MOP.
+ISSUE_WIDTH = 6
+
+#: Units able to execute memory operations (2 of the 6 are universal).
+MEMORY_UNITS = 2
+
+
+@dataclass(frozen=True)
+class MultiOp:
+    """An immutable VLIW group; construction fixes the tail bits."""
+
+    ops: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise EncodingError("a MultiOp must contain at least one op")
+        if len(self.ops) > ISSUE_WIDTH:
+            raise EncodingError(
+                f"MultiOp of {len(self.ops)} ops exceeds issue width "
+                f"{ISSUE_WIDTH}"
+            )
+        n_mem = sum(1 for op in self.ops if op.opcode.is_memory)
+        if n_mem > MEMORY_UNITS:
+            raise EncodingError(
+                f"MultiOp uses {n_mem} memory units, machine has "
+                f"{MEMORY_UNITS}"
+            )
+        fixed = tuple(
+            op.with_tail(i == len(self.ops) - 1)
+            for i, op in enumerate(self.ops)
+        )
+        object.__setattr__(self, "ops", fixed)
+
+    @classmethod
+    def of(cls, ops: Sequence[Operation]) -> "MultiOp":
+        return cls(tuple(ops))
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def bit_length(self) -> int:
+        """Size of this MOP in the baseline 40-bit encoding."""
+        return OP_BITS * len(self.ops)
+
+    @property
+    def has_control_transfer(self) -> bool:
+        return any(op.is_control_transfer for op in self.ops)
+
+    def encode_words(self) -> list[int]:
+        """The MOP as a list of 40-bit words, tail bit set on the last."""
+        return [op.encode() for op in self.ops]
+
+    def __str__(self) -> str:
+        return "[" + " | ".join(str(op) for op in self.ops) + "]"

@@ -1,0 +1,9 @@
+"""Memory-bus power model (paper Figure 14).
+
+"In the experiments, power is modeled by counting the number of
+transactions on the memory bus when bits are flipped."
+"""
+
+from repro.power.busmodel import BusModel
+
+__all__ = ["BusModel"]

@@ -1,0 +1,77 @@
+"""Shared helpers for the benchmark programs.
+
+The central piece is a linear-congruential generator available in two
+matching forms: :class:`RngEmitter` emits TEPIC IR that advances the
+state in a register, and :class:`RngModel` steps the identical recurrence
+in Python.  Program modules use the emitter inside ``build()`` and the
+model inside ``reference_checksum()``, so the emulator and the oracle see
+the same pseudo-random data.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import FunctionBuilder
+from repro.compiler.ir import VReg
+from repro.utils.arith import unsigned32, wrap32
+
+#: LCG multiplier (fits the 20-bit LDI immediate) and increment.
+LCG_MUL = 48271
+LCG_INC = 13
+
+
+class RngModel:
+    """Python-side twin of the in-program LCG."""
+
+    def __init__(self, seed: int) -> None:
+        self.state = wrap32(seed)
+
+    def next(self) -> int:
+        self.state = wrap32(self.state * LCG_MUL + LCG_INC)
+        return self.state
+
+    def bits(self, mask: int) -> int:
+        """Advance and return ``(state >>u 16) & mask``."""
+        self.next()
+        return (unsigned32(self.state) >> 16) & mask
+
+
+class RngEmitter:
+    """Emits IR advancing an LCG state register."""
+
+    def __init__(self, b: FunctionBuilder, seed: int) -> None:
+        self.b = b
+        self.state = b.ireg()
+        b.li(self.state, wrap32(seed))
+
+    def next_into(self, dest: VReg) -> None:
+        """``state = state*MUL + INC``; copies the new state to ``dest``."""
+        b = self.b
+        mul = b.iconst(LCG_MUL)
+        inc = b.iconst(LCG_INC)
+        t = b.ireg()
+        b.mpy(t, self.state, mul)
+        b.add(self.state, t, inc)
+        b.mov(dest, self.state)
+
+    def bits_into(self, dest: VReg, mask: int) -> None:
+        """Advance and put ``(state >>u 16) & mask`` into ``dest``."""
+        b = self.b
+        t = b.ireg()
+        self.next_into(t)
+        sh = b.ireg()
+        b.shri(sh, t, 16)
+        b.andi(dest, sh, mask)
+
+
+def checksum_step(value: int, item: int) -> int:
+    """The accumulation every benchmark uses: ``h = h*33 + item``."""
+    return wrap32(value * 33 + item)
+
+
+def emit_checksum_step(
+    b: FunctionBuilder, acc: VReg, item: VReg
+) -> None:
+    """In-program twin of :func:`checksum_step`."""
+    t = b.ireg()
+    b.mpyi(t, acc, 33)
+    b.add(acc, t, item)

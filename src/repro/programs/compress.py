@@ -1,0 +1,241 @@
+"""``compress`` — LZW compression of a synthetic text.
+
+The program generates a skewed 16-symbol text with the shared LCG, then
+runs LZW where each dictionary step is handled by one of several
+*specialized step routines* (distinct hash multipliers and dictionary
+regions), selected by ``key % variants`` — stable per key, so every
+dictionary stays coherent.  The data-dependent dispatch keeps the whole
+routine family hot at once, giving the loop the wide instruction working
+set of the full-size SPEC original.  Mixed behaviour: hash-probe loops
+with data-dependent exits inside a regular scan loop.
+
+Checksum: ``h = h*33 + code`` over the emitted code stream.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import FunctionBuilder, ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+
+DEFAULT_SCALE = 24
+DEFAULT_VARIANTS = 5
+
+ALPHABET = 16
+HASH_SIZE = 512
+HASH_MASK = HASH_SIZE - 1
+MAX_INSERTS = 384  # freeze each dictionary region at 75% load
+
+#: Per-variant hash multipliers (the specialization constant).
+HASH_MULTIPLIERS = (31, 37, 29, 41, 43, 23, 47, 53)
+
+
+def _text_length(scale: int) -> int:
+    return 64 * scale
+
+
+def _seed(scale: int) -> int:
+    return scale * 7 + 1
+
+
+def _skew(r: int) -> int:
+    """Map 8 random bits onto a skewed 16-symbol alphabet."""
+    return (r & 7) if (r & 8) else (r & 3)
+
+
+def _emit_step_variant(b: FunctionBuilder, index: int) -> None:
+    """``step_v<i>(w, c) -> new w`` — one LZW dictionary step.
+
+    Probes this variant's dictionary region for ``(w, c)``; on a hit
+    returns the code, otherwise emits ``w`` into the global checksum,
+    inserts (while the region has room), and returns ``c``.
+    """
+    mult = HASH_MULTIPLIERS[index % len(HASH_MULTIPLIERS)]
+    w, c = b.arg(0), b.arg(1)
+    hkey = b.ireg()
+    b.la(hkey, "hkey")
+    hval = b.ireg()
+    b.la(hval, "hval")
+    region = b.iconst(index * HASH_SIZE * 4)
+    b.add(hkey, hkey, region)
+    region2 = b.iconst(index * HASH_SIZE * 4)
+    b.add(hval, hval, region2)
+
+    key = b.ireg()
+    b.mpyi(key, w, ALPHABET)
+    b.add(key, key, c)
+    keyp1 = b.ireg()
+    b.addi(keyp1, key, 1)
+    h = b.ireg()
+    b.mpyi(h, key, mult)
+    b.andi(h, h, HASH_MASK)
+
+    b.label("probe")
+    k = b.ireg()
+    b.load_index(k, hkey, h)
+    pe = b.preg()
+    b.cmpi_eq(pe, k, 0)
+    b.br_if(pe, "absent")
+    pf = b.preg()
+    b.cmp_eq(pf, k, keyp1)
+    b.br_if(pf, "present")
+    b.addi(h, h, 1)
+    b.andi(h, h, HASH_MASK)
+    b.jump("probe")
+
+    b.label("present")
+    found = b.ireg()
+    b.load_index(found, hval, h)
+    b.ret(found)
+
+    b.label("absent")
+    # Emit w into the global running checksum.
+    ckp = b.ireg()
+    b.la(ckp, "ck")
+    ck = b.ireg()
+    b.load(ck, ckp)
+    emit_checksum_step(b, ck, w)
+    b.store(ckp, ck)
+    # Insert while this region has room.
+    ncp = b.ireg()
+    b.la(ncp, f"next_code{index}")
+    nc = b.ireg()
+    b.load(nc, ncp)
+    cap = b.iconst(ALPHABET + MAX_INSERTS)
+    pi = b.preg()
+    b.cmp_ge(pi, nc, cap)
+    b.br_if(pi, "full")
+    b.store_index(hkey, h, keyp1)
+    b.store_index(hval, h, nc)
+    ncn = b.ireg()
+    b.addi(ncn, nc, 1)
+    b.store(ncp, ncn)
+    b.label("full")
+    b.ret(c)
+    b.done()
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    n = _text_length(scale)
+    mb = ModuleBuilder("compress")
+    mb.global_array("text", words=n)
+    mb.global_array("hkey", words=HASH_SIZE * variants)
+    mb.global_array("hval", words=HASH_SIZE * variants)
+    mb.global_array("ck", words=1)
+    for v in range(variants):
+        mb.global_array(f"next_code{v}", words=1, init=[ALPHABET])
+    mb.global_array("result", words=1)
+
+    for v in range(variants):
+        _emit_step_variant(mb.function(f"step_v{v}", num_args=2), v)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    text = b.ireg()
+    b.la(text, "text")
+    i = b.ireg()
+    b.li(i, 0)
+    limit = b.iconst(n)
+    b.label("gen")
+    r = b.ireg()
+    rng.bits_into(r, 255)
+    low3 = b.ireg()
+    b.andi(low3, r, 7)
+    low2 = b.ireg()
+    b.andi(low2, r, 3)
+    bit = b.ireg()
+    b.andi(bit, r, 8)
+    p = b.preg()
+    b.cmpi_ne(p, bit, 0)
+    c = b.ireg()
+    b.select(c, p, low3, low2)
+    b.store_index(text, i, c)
+    b.addi(i, i, 1)
+    pl = b.preg()
+    b.cmp_lt(pl, i, limit)
+    b.br_if(pl, "gen")
+
+    w = b.ireg()
+    b.load(w, text)
+    b.li(i, 1)
+    b.label("scan")
+    c2 = b.ireg()
+    b.load_index(c2, text, i)
+    key = b.ireg()
+    b.mpyi(key, w, ALPHABET)
+    b.add(key, key, c2)
+    vsel = b.ireg()
+    b.modi(vsel, key, variants)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, vsel, v)
+        b.br_if(pv, f"disp_{v}")
+    b.jump("stepped")
+    for v in range(variants):
+        b.label(f"disp_{v}")
+        b.call(f"step_v{v}", args=[w, c2], ret=w)
+        b.jump("stepped")
+    b.label("stepped")
+    b.addi(i, i, 1)
+    limit2 = b.iconst(n)
+    ps = b.preg()
+    b.cmp_lt(ps, i, limit2)
+    b.br_if(ps, "scan")
+
+    ckp = b.ireg()
+    b.la(ckp, "ck")
+    ck = b.ireg()
+    b.load(ck, ckp)
+    emit_checksum_step(b, ck, w)
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    n = _text_length(scale)
+    rng = RngModel(_seed(scale))
+    text = [_skew(rng.bits(255)) for _ in range(n)]
+    hkey = [[0] * HASH_SIZE for _ in range(variants)]
+    hval = [[0] * HASH_SIZE for _ in range(variants)]
+    next_code = [ALPHABET] * variants
+    ck = 0
+    w = text[0]
+    for i in range(1, n):
+        c = text[i]
+        key = w * ALPHABET + c
+        v = key % variants
+        mult = HASH_MULTIPLIERS[v % len(HASH_MULTIPLIERS)]
+        h = (key * mult) & HASH_MASK
+        found = -1
+        while True:
+            k = hkey[v][h]
+            if k == 0:
+                break
+            if k == key + 1:
+                found = hval[v][h]
+                break
+            h = (h + 1) & HASH_MASK
+        if found >= 0:
+            w = found
+        else:
+            ck = checksum_step(ck, w)
+            if next_code[v] < ALPHABET + MAX_INSERTS:
+                hkey[v][h] = key + 1
+                hval[v][h] = next_code[v]
+                next_code[v] += 1
+            w = c
+    return checksum_step(ck, w)

@@ -1,0 +1,298 @@
+"""``gcc`` — a table-driven lexer feeding expression-evaluator variants.
+
+Phase 1 lexes a synthetic character stream through a class table
+(digits, ``+``, ``*``, whitespace), assembling numbers by maximal munch
+into a token buffer.  Phase 2 evaluates the token stream once per
+*specialized evaluator variant* (different term masks and flush
+intervals — like a compiler's per-target constant folding paths),
+rotating the code working set.  Table loads plus a dispatch per
+character — the front-end/table-machine profile of the SPEC original.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import FunctionBuilder, ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+from repro.utils.arith import wrap32
+
+DEFAULT_SCALE = 12
+DEFAULT_VARIANTS = 4
+
+#: Per-variant (term mask, flush interval) evaluator constants.
+EVAL_VARIANTS = ((0xFFFF, 32), (0xFFF, 16), (0x3FFF, 64), (0xFF, 8),
+                 (0x1FFF, 32), (0x7FF, 16))
+
+#: Character classes for the 16-code alphabet.
+CLS_DIGIT, CLS_PLUS, CLS_STAR, CLS_SPACE = 0, 1, 2, 3
+CLS_TABLE = [CLS_DIGIT] * 10 + [CLS_PLUS, CLS_STAR] + [CLS_SPACE] * 4
+
+#: Token encoding in the token buffer.
+TOK_PLUS, TOK_STAR, TOK_NUM_BASE = 1, 2, 3
+
+
+def _seed(scale: int) -> int:
+    return scale * 29 + 19
+
+
+def _stream_length(scale: int) -> int:
+    return 96 * scale
+
+
+def _emit_eval_variant(b: FunctionBuilder, index: int) -> None:
+    """``eval_v<i>(ntok) -> checksum`` over the token buffer."""
+    mask, flush_every = EVAL_VARIANTS[index % len(EVAL_VARIANTS)]
+    ntok = b.arg(0)
+    tokens = b.ireg()
+    b.la(tokens, "tokens")
+    ck = b.ireg()
+    b.li(ck, 0)
+    total = b.ireg()
+    b.li(total, 0)
+    term = b.ireg()
+    b.li(term, 0)
+    pending_mul = b.ireg()
+    b.li(pending_mul, 0)
+    j = b.ireg()
+    b.li(j, 0)
+    pempty = b.preg()
+    b.cmpi_le(pempty, ntok, 0)
+    b.br_if(pempty, "done")
+
+    b.label("eval")
+    tok = b.ireg()
+    b.load_index(tok, tokens, j)
+    pnum = b.preg()
+    b.cmpi_ge(pnum, tok, TOK_NUM_BASE)
+    b.br_if(pnum, "is_num")
+    pplus = b.preg()
+    b.cmpi_eq(pplus, tok, TOK_PLUS)
+    b.br_if(pplus, "is_plus")
+    b.li(pending_mul, 1)  # star
+    b.jump("eval_next")
+    b.label("is_plus")
+    b.li(pending_mul, 0)
+    b.jump("eval_next")
+    b.label("is_num")
+    v = b.ireg()
+    b.subi(v, tok, TOK_NUM_BASE)
+    pm = b.preg()
+    b.cmpi_ne(pm, pending_mul, 0)
+    b.br_if(pm, "mul_case")
+    b.add(total, total, term)
+    b.mov(term, v)
+    b.jump("eval_next")
+    b.label("mul_case")
+    b.mpy(term, term, v)
+    b.andi(term, term, mask)
+    b.li(pending_mul, 0)
+
+    b.label("eval_next")
+    jm = b.ireg()
+    b.andi(jm, j, flush_every - 1)
+    pfl = b.preg()
+    b.cmpi_ne(pfl, jm, flush_every - 1)
+    b.br_if(pfl, "no_flush")
+    flushed = b.ireg()
+    b.add(flushed, total, term)
+    emit_checksum_step(b, ck, flushed)
+    b.li(total, 0)
+    b.li(term, 0)
+    b.li(pending_mul, 0)
+    b.label("no_flush")
+    b.addi(j, j, 1)
+    pev = b.preg()
+    b.cmp_lt(pev, j, ntok)
+    b.br_if(pev, "eval")
+    b.label("done")
+    final = b.ireg()
+    b.add(final, total, term)
+    emit_checksum_step(b, ck, final)
+    b.ret(ck)
+    b.done()
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    n = _stream_length(scale)
+    mb = ModuleBuilder("gcc")
+    mb.global_array("stream", words=n)
+    mb.global_array("cls", words=16, init=CLS_TABLE)
+    mb.global_array("tokens", words=n + 1)
+    mb.global_array("result", words=1)
+
+    for v in range(variants):
+        _emit_eval_variant(mb.function(f"eval_v{v}", num_args=1), v)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    stream = b.ireg()
+    b.la(stream, "stream")
+    clsb = b.ireg()
+    b.la(clsb, "cls")
+    tokens = b.ireg()
+    b.la(tokens, "tokens")
+
+    # Generate the character stream.
+    i = b.ireg()
+    b.li(i, 0)
+    nc = b.iconst(n)
+    b.label("gen")
+    c = b.ireg()
+    rng.bits_into(c, 15)
+    b.store_index(stream, i, c)
+    b.addi(i, i, 1)
+    pg = b.preg()
+    b.cmp_lt(pg, i, nc)
+    b.br_if(pg, "gen")
+
+    # ---- Phase 1: lex ----------------------------------------------
+    ntok = b.ireg()
+    b.li(ntok, 0)
+    in_num = b.ireg()
+    b.li(in_num, 0)
+    numval = b.ireg()
+    b.li(numval, 0)
+    b.li(i, 0)
+
+    def emit_pending_number(tag: str) -> None:
+        """Close an in-progress number token, if any."""
+        pn = b.preg()
+        b.cmpi_eq(pn, in_num, 0)
+        b.br_if(pn, f"no_num_{tag}")
+        tok = b.ireg()
+        b.addi(tok, numval, TOK_NUM_BASE)
+        b.store_index(tokens, ntok, tok)
+        b.addi(ntok, ntok, 1)
+        b.li(in_num, 0)
+        b.li(numval, 0)
+        b.label(f"no_num_{tag}")
+
+    b.label("lex")
+    ch = b.ireg()
+    b.load_index(ch, stream, i)
+    cl = b.ireg()
+    b.load_index(cl, clsb, ch)
+    pd = b.preg()
+    b.cmpi_eq(pd, cl, CLS_DIGIT)
+    b.br_if(pd, "digit")
+    pp = b.preg()
+    b.cmpi_eq(pp, cl, CLS_PLUS)
+    b.br_if(pp, "plus")
+    ps = b.preg()
+    b.cmpi_eq(ps, cl, CLS_STAR)
+    b.br_if(ps, "star")
+    emit_pending_number("ws")
+    b.jump("lex_next")
+
+    b.label("digit")
+    t = b.ireg()
+    b.mpyi(t, numval, 10)
+    b.add(numval, t, ch)
+    b.andi(numval, numval, 0xFFF)  # keep number tokens bounded
+    b.li(in_num, 1)
+    b.jump("lex_next")
+
+    b.label("plus")
+    emit_pending_number("plus")
+    tokp = b.iconst(TOK_PLUS)
+    b.store_index(tokens, ntok, tokp)
+    b.addi(ntok, ntok, 1)
+    b.jump("lex_next")
+
+    b.label("star")
+    emit_pending_number("star")
+    toks = b.iconst(TOK_STAR)
+    b.store_index(tokens, ntok, toks)
+    b.addi(ntok, ntok, 1)
+
+    b.label("lex_next")
+    b.addi(i, i, 1)
+    nc2 = b.iconst(n)
+    plx = b.preg()
+    b.cmp_lt(plx, i, nc2)
+    b.br_if(plx, "lex")
+    emit_pending_number("eof")
+
+    # ---- Phase 2: evaluate under every variant -----------------------
+    ck = b.ireg()
+    b.li(ck, 0)
+    for v in range(variants):
+        part = b.ireg()
+        b.call(f"eval_v{v}", args=[ntok], ret=part)
+        emit_checksum_step(b, ck, part)
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def _lex(stream: list[int]) -> list[int]:
+    tokens: list[int] = []
+    in_num = False
+    numval = 0
+    for ch in stream:
+        cl = CLS_TABLE[ch]
+        if cl == CLS_DIGIT:
+            numval = (numval * 10 + ch) & 0xFFF
+            in_num = True
+            continue
+        if in_num:
+            tokens.append(numval + TOK_NUM_BASE)
+            in_num = False
+            numval = 0
+        if cl == CLS_PLUS:
+            tokens.append(TOK_PLUS)
+        elif cl == CLS_STAR:
+            tokens.append(TOK_STAR)
+    if in_num:
+        tokens.append(numval + TOK_NUM_BASE)
+    return tokens
+
+
+def _eval(tokens: list[int], mask: int, flush_every: int) -> int:
+    ck = 0
+    total = term = 0
+    pending_mul = False
+    for j, tok in enumerate(tokens):
+        if tok >= TOK_NUM_BASE:
+            v = tok - TOK_NUM_BASE
+            if pending_mul:
+                term = wrap32(term * v) & mask
+                pending_mul = False
+            else:
+                total = wrap32(total + term)
+                term = v
+        elif tok == TOK_PLUS:
+            pending_mul = False
+        else:
+            pending_mul = True
+        if j & (flush_every - 1) == flush_every - 1:
+            ck = checksum_step(ck, wrap32(total + term))
+            total = term = 0
+            pending_mul = False
+    return checksum_step(ck, wrap32(total + term))
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    n = _stream_length(scale)
+    rng = RngModel(_seed(scale))
+    stream = [rng.bits(15) for _ in range(n)]
+    tokens = _lex(stream)
+    ck = 0
+    for v in range(variants):
+        mask, flush = EVAL_VARIANTS[v % len(EVAL_VARIANTS)]
+        ck = checksum_step(ck, _eval(tokens, mask, flush))
+    return ck

@@ -1,0 +1,329 @@
+"""``go`` — board evaluation with captures on a 9×9 board.
+
+Evaluation passes sweep a randomly seeded Go-like board counting
+pseudo-liberties, awarding territory/edge bonuses, removing liberty-less
+stones, and greedily playing a new stone on the best empty point.  Each
+pass runs through one of several *specialized evaluator variants*
+(different scoring weights — the compiler-specialization realism knob
+that also widens the code working set).  Control flow is dominated by
+irregular, data-dependent branches, which is exactly why the paper's
+``go`` suffers under the longer Compressed misprediction penalty.
+
+Checksum: ``h = h*33 + score`` per pass, folded over all passes.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import FunctionBuilder, ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+
+DEFAULT_SCALE = 3
+DEFAULT_VARIANTS = 6
+
+SIZE = 9
+CELLS = SIZE * SIZE
+
+#: Per-variant (black_mul, white_mul, edge_bonus, jitter_mask).
+VARIANT_WEIGHTS = (
+    (3, 2, 2, 3),
+    (4, 1, 3, 7),
+    (2, 3, 1, 3),
+    (5, 2, 2, 1),
+    (3, 1, 4, 7),
+    (2, 2, 3, 3),
+    (4, 3, 1, 1),
+    (3, 3, 2, 7),
+)
+
+
+def _seed(scale: int) -> int:
+    return scale * 31 + 5
+
+
+def _initial_cell(r: int) -> int:
+    """Map 4 random bits to empty(0)/black(1)/white(2), empty-biased."""
+    if r & 8:
+        return 0
+    return 1 if r & 1 else 2
+
+
+def _emit_liberties(f: FunctionBuilder) -> None:
+    """``liberties(pos)`` — count empty orthogonal neighbors."""
+    pos = f.arg(0)
+    board = f.ireg()
+    f.la(board, "board")
+    row = f.ireg()
+    f.divi(row, pos, SIZE)
+    col = f.ireg()
+    f.modi(col, pos, SIZE)
+    libs = f.ireg()
+    f.li(libs, 0)
+
+    def check(tag, guard_reg, guard_imm, delta):
+        p = f.preg()
+        f.cmpi_eq(p, guard_reg, guard_imm)
+        f.br_if(p, f"skip_{tag}")
+        npos = f.ireg()
+        f.addi(npos, pos, delta)
+        cell = f.ireg()
+        f.load_index(cell, board, npos)
+        pe = f.preg()
+        f.cmpi_ne(pe, cell, 0)
+        f.br_if(pe, f"skip_{tag}")
+        f.addi(libs, libs, 1)
+        f.label(f"skip_{tag}")
+
+    check("up", row, 0, -SIZE)
+    check("down", row, SIZE - 1, SIZE)
+    check("left", col, 0, -1)
+    check("right", col, SIZE - 1, 1)
+    f.ret(libs)
+    f.done()
+
+
+def _emit_pass_variant(b: FunctionBuilder, index: int) -> None:
+    """``pass_v<index>(npass) -> score``: one full evaluation sweep."""
+    black_mul, white_mul, edge_bonus, jitter_mask = VARIANT_WEIGHTS[
+        index % len(VARIANT_WEIGHTS)
+    ]
+    npass = b.arg(0)
+    board = b.ireg()
+    b.la(board, "board")
+    score = b.ireg()
+    b.li(score, 0)
+    best_pos = b.ireg()
+    b.li(best_pos, -1)
+    best_val = b.ireg()
+    b.li(best_val, -1)
+    pos = b.ireg()
+    b.li(pos, 0)
+
+    b.label("sweep")
+    s = b.ireg()
+    b.load_index(s, board, pos)
+    pocc = b.preg()
+    b.cmpi_ne(pocc, s, 0)
+    b.br_if(pocc, "occupied")
+
+    # Empty point: candidate move, valued by its liberties plus jitter.
+    libs_e = b.ireg()
+    b.call("liberties", args=[pos], ret=libs_e)
+    jitter = b.ireg()
+    b.andi(jitter, pos, jitter_mask)
+    val = b.ireg()
+    b.shli(val, libs_e, 2)
+    b.add(val, val, jitter)
+    pbv = b.preg()
+    b.cmp_gt(pbv, val, best_val)
+    b.br_if(pbv, "new_best")
+    b.jump("next_pos")
+    b.label("new_best")
+    b.mov(best_val, val)
+    b.mov(best_pos, pos)
+    b.jump("next_pos")
+
+    b.label("occupied")
+    libs = b.ireg()
+    b.call("liberties", args=[pos], ret=libs)
+    s2 = b.ireg()
+    b.load_index(s2, board, pos)
+    row2 = b.ireg()
+    b.divi(row2, pos, SIZE)
+    col2 = b.ireg()
+    b.modi(col2, pos, SIZE)
+    bonus = b.ireg()
+    b.li(bonus, 0)
+    pr0 = b.preg()
+    b.cmpi_eq(pr0, row2, 0)
+    b.br_if(pr0, "edge")
+    pr8 = b.preg()
+    b.cmpi_eq(pr8, row2, SIZE - 1)
+    b.br_if(pr8, "edge")
+    pc0 = b.preg()
+    b.cmpi_eq(pc0, col2, 0)
+    b.br_if(pc0, "edge")
+    pc8 = b.preg()
+    b.cmpi_eq(pc8, col2, SIZE - 1)
+    b.br_if(pc8, "edge")
+    b.jump("apply")
+    b.label("edge")
+    b.li(bonus, edge_bonus)
+    b.label("apply")
+    pblack = b.preg()
+    b.cmpi_eq(pblack, s2, 1)
+    b.br_if(pblack, "black")
+    t = b.ireg()
+    b.mpyi(t, libs, white_mul)
+    b.sub(score, score, t)
+    b.jump("capture")
+    b.label("black")
+    contrib = b.ireg()
+    b.mpyi(contrib, libs, black_mul)
+    b.add(contrib, contrib, bonus)
+    b.add(score, score, contrib)
+    b.label("capture")
+    pz = b.preg()
+    b.cmpi_ne(pz, libs, 0)
+    b.br_if(pz, "next_pos")
+    zero = b.iconst(0)
+    b.store_index(board, pos, zero)
+
+    b.label("next_pos")
+    b.addi(pos, pos, 1)
+    cells = b.iconst(CELLS)
+    psw = b.preg()
+    b.cmp_lt(psw, pos, cells)
+    b.br_if(psw, "sweep")
+
+    # Play the best empty point: alternate colors by pass parity.
+    pnb = b.preg()
+    b.cmpi_lt(pnb, best_pos, 0)
+    b.br_if(pnb, "no_move")
+    parity = b.ireg()
+    b.andi(parity, npass, 1)
+    color = b.ireg()
+    b.addi(color, parity, 1)
+    b.store_index(board, best_pos, color)
+    b.label("no_move")
+    b.ret(score)
+    b.done()
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    mb = ModuleBuilder("go")
+    mb.global_array("board", words=CELLS)
+    mb.global_array("result", words=1)
+
+    _emit_liberties(mb.function("liberties", num_args=1))
+    for v in range(variants):
+        _emit_pass_variant(mb.function(f"pass_v{v}", num_args=1), v)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    board = b.ireg()
+    b.la(board, "board")
+    i = b.ireg()
+    b.li(i, 0)
+    cells = b.iconst(CELLS)
+    b.label("fill")
+    r = b.ireg()
+    rng.bits_into(r, 15)
+    bit8 = b.ireg()
+    b.andi(bit8, r, 8)
+    pempty = b.preg()
+    b.cmpi_ne(pempty, bit8, 0)
+    bit1 = b.ireg()
+    b.andi(bit1, r, 1)
+    one = b.iconst(1)
+    two = b.iconst(2)
+    pb = b.preg()
+    b.cmpi_ne(pb, bit1, 0)
+    stone = b.ireg()
+    b.select(stone, pb, one, two)
+    zero = b.iconst(0)
+    cell = b.ireg()
+    b.select(cell, pempty, zero, stone)
+    b.store_index(board, i, cell)
+    b.addi(i, i, 1)
+    pf = b.preg()
+    b.cmp_lt(pf, i, cells)
+    b.br_if(pf, "fill")
+
+    ck = b.ireg()
+    b.li(ck, 0)
+    npass = b.ireg()
+    b.li(npass, 0)
+    passes = b.iconst(scale * variants)
+    b.label("pass_loop")
+    vsel = b.ireg()
+    b.modi(vsel, npass, variants)
+    score = b.ireg()
+    b.li(score, 0)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, vsel, v)
+        b.br_if(pv, f"dispatch_{v}")
+    b.jump("after_pass")
+    for v in range(variants):
+        b.label(f"dispatch_{v}")
+        b.call(f"pass_v{v}", args=[npass], ret=score)
+        b.jump("after_pass")
+    b.label("after_pass")
+    emit_checksum_step(b, ck, score)
+    b.addi(npass, npass, 1)
+    pp = b.preg()
+    b.cmp_lt(pp, npass, passes)
+    b.br_if(pp, "pass_loop")
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def _liberties(board: list[int], pos: int) -> int:
+    row, col = divmod(pos, SIZE)
+    libs = 0
+    if row != 0 and board[pos - SIZE] == 0:
+        libs += 1
+    if row != SIZE - 1 and board[pos + SIZE] == 0:
+        libs += 1
+    if col != 0 and board[pos - 1] == 0:
+        libs += 1
+    if col != SIZE - 1 and board[pos + 1] == 0:
+        libs += 1
+    return libs
+
+
+def _run_pass(board: list[int], npass: int, weights) -> int:
+    black_mul, white_mul, edge_bonus, jitter_mask = weights
+    score = 0
+    best_pos = -1
+    best_val = -1
+    for pos in range(CELLS):
+        s = board[pos]
+        if s == 0:
+            libs = _liberties(board, pos)
+            val = (libs << 2) + (pos & jitter_mask)
+            if val > best_val:
+                best_val = val
+                best_pos = pos
+            continue
+        libs = _liberties(board, pos)
+        row, col = divmod(pos, SIZE)
+        on_edge = row in (0, SIZE - 1) or col in (0, SIZE - 1)
+        bonus = edge_bonus if on_edge else 0
+        if s == 1:
+            score += libs * black_mul + bonus
+        else:
+            score -= libs * white_mul
+        if libs == 0:
+            board[pos] = 0
+    if best_pos >= 0:
+        board[best_pos] = (npass & 1) + 1
+    return score
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    rng = RngModel(_seed(scale))
+    board = [_initial_cell(rng.bits(15)) for _ in range(CELLS)]
+    ck = 0
+    for npass in range(scale * variants):
+        weights = VARIANT_WEIGHTS[
+            (npass % variants) % len(VARIANT_WEIGHTS)
+        ]
+        ck = checksum_step(ck, _run_pass(board, npass, weights))
+    return ck

@@ -1,0 +1,315 @@
+"""``ijpeg`` — blocked integer DCT, quantization and zigzag RLE.
+
+An 8×8 synthetic tile is transformed repeatedly; each sweep offsets the
+pixels and runs one of several *specialized codec variants* — full
+copies of the separable integer DCT + quantize + zigzag-RLE pipeline,
+each with its own quantization table (per-quality specialization, the
+code-replication realism knob).  Loop-dominated with long
+multiply–accumulate chains and highly predictable branches — the
+high-ILP end of the suite.
+
+Checksum folds the RLE (run, level) pairs of every sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler.builder import FunctionBuilder, ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+from repro.utils.arith import div_trunc, wrap32
+
+DEFAULT_SCALE = 4
+DEFAULT_VARIANTS = 4
+
+N = 8  # one 8×8 tile
+
+#: Fixed-point (×64) cosine basis, C[u*8+x].
+COSTAB = [
+    int(round(64 * math.cos((2 * x + 1) * u * math.pi / 16)))
+    for u in range(8)
+    for x in range(8)
+]
+
+
+def _qtab(variant: int) -> list[int]:
+    """Quantization table for one codec variant (quality level)."""
+    step = 2 + variant
+    return [
+        (1 + u + v) * step + (4 if u == 0 and v == 0 else 0)
+        for u in range(8)
+        for v in range(8)
+    ]
+
+
+def _zigzag_order() -> list[int]:
+    order = []
+    for s in range(15):
+        indices = [
+            u * 8 + (s - u)
+            for u in range(max(0, s - 7), min(8, s + 1))
+        ]
+        order.extend(reversed(indices) if s % 2 == 0 else indices)
+    return order
+
+
+ZIGZAG = _zigzag_order()
+
+
+def _seed(scale: int) -> int:
+    return scale * 13 + 3
+
+
+def _emit_codec_variant(b: FunctionBuilder, index: int) -> None:
+    """``codec_v<i>(offset) -> checksum`` over one transformed tile."""
+    offset = b.arg(0)
+    img = b.ireg()
+    b.la(img, "img")
+    costab = b.ireg()
+    b.la(costab, "costab")
+    qtab = b.ireg()
+    b.la(qtab, f"qtab{index}")
+    zigzag = b.ireg()
+    b.la(zigzag, "zigzag")
+    tmp = b.ireg()
+    b.la(tmp, "tmp")
+    coef = b.ireg()
+    b.la(coef, "coef")
+    ck = b.ireg()
+    b.li(ck, 0)
+
+    # ---- row DCT: tmp[r*8+u] = (sum_x (img[r*8+x]+offset)*C[u*8+x])>>6
+    r = b.ireg()
+    b.li(r, 0)
+    b.label("row_loop")
+    u = b.ireg()
+    b.li(u, 0)
+    b.label("rowu_loop")
+    acc = b.ireg()
+    b.li(acc, 0)
+    x = b.ireg()
+    b.li(x, 0)
+    b.label("rowx_loop")
+    pi_ = b.ireg()
+    b.shli(pi_, r, 3)
+    b.add(pi_, pi_, x)
+    pix = b.ireg()
+    b.load_index(pix, img, pi_)
+    b.add(pix, pix, offset)
+    ci = b.ireg()
+    b.shli(ci, u, 3)
+    b.add(ci, ci, x)
+    cv = b.ireg()
+    b.load_index(cv, costab, ci)
+    prod = b.ireg()
+    b.mpy(prod, pix, cv)
+    b.add(acc, acc, prod)
+    b.addi(x, x, 1)
+    px8 = b.preg()
+    b.cmpi_lt(px8, x, 8)
+    b.br_if(px8, "rowx_loop")
+    b.srai(acc, acc, 6)
+    ti = b.ireg()
+    b.shli(ti, r, 3)
+    b.add(ti, ti, u)
+    b.store_index(tmp, ti, acc)
+    b.addi(u, u, 1)
+    pu8 = b.preg()
+    b.cmpi_lt(pu8, u, 8)
+    b.br_if(pu8, "rowu_loop")
+    b.addi(r, r, 1)
+    pr8 = b.preg()
+    b.cmpi_lt(pr8, r, 8)
+    b.br_if(pr8, "row_loop")
+
+    # ---- column DCT + quantization -----------------------------------
+    v = b.ireg()
+    b.li(v, 0)
+    b.label("colv_loop")
+    u2 = b.ireg()
+    b.li(u2, 0)
+    b.label("colu_loop")
+    acc2 = b.ireg()
+    b.li(acc2, 0)
+    y = b.ireg()
+    b.li(y, 0)
+    b.label("coly_loop")
+    tyi = b.ireg()
+    b.shli(tyi, y, 3)
+    b.add(tyi, tyi, v)
+    tv = b.ireg()
+    b.load_index(tv, tmp, tyi)
+    cyi = b.ireg()
+    b.shli(cyi, u2, 3)
+    b.add(cyi, cyi, y)
+    cv2 = b.ireg()
+    b.load_index(cv2, costab, cyi)
+    prod2 = b.ireg()
+    b.mpy(prod2, tv, cv2)
+    b.add(acc2, acc2, prod2)
+    b.addi(y, y, 1)
+    py8 = b.preg()
+    b.cmpi_lt(py8, y, 8)
+    b.br_if(py8, "coly_loop")
+    b.srai(acc2, acc2, 6)
+    qi = b.ireg()
+    b.shli(qi, u2, 3)
+    b.add(qi, qi, v)
+    qv = b.ireg()
+    b.load_index(qv, qtab, qi)
+    quant = b.ireg()
+    b.div(quant, acc2, qv)
+    b.store_index(coef, qi, quant)
+    b.addi(u2, u2, 1)
+    pu28 = b.preg()
+    b.cmpi_lt(pu28, u2, 8)
+    b.br_if(pu28, "colu_loop")
+    b.addi(v, v, 1)
+    pv8 = b.preg()
+    b.cmpi_lt(pv8, v, 8)
+    b.br_if(pv8, "colv_loop")
+
+    # ---- zigzag run-length encode -------------------------------------
+    run = b.ireg()
+    b.li(run, 0)
+    zi = b.ireg()
+    b.li(zi, 0)
+    b.label("zz_loop")
+    zidx = b.ireg()
+    b.load_index(zidx, zigzag, zi)
+    cval = b.ireg()
+    b.load_index(cval, coef, zidx)
+    pz = b.preg()
+    b.cmpi_ne(pz, cval, 0)
+    b.br_if(pz, "zz_emit")
+    b.addi(run, run, 1)
+    b.jump("zz_next")
+    b.label("zz_emit")
+    emit_checksum_step(b, ck, run)
+    emit_checksum_step(b, ck, cval)
+    b.li(run, 0)
+    b.label("zz_next")
+    b.addi(zi, zi, 1)
+    pz64 = b.preg()
+    b.cmpi_lt(pz64, zi, 64)
+    b.br_if(pz64, "zz_loop")
+    emit_checksum_step(b, ck, run)
+    b.ret(ck)
+    b.done()
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    mb = ModuleBuilder("ijpeg")
+    mb.global_array("img", words=N * N)
+    mb.global_array("tmp", words=64)
+    mb.global_array("coef", words=64)
+    mb.global_array("costab", words=64, init=COSTAB)
+    mb.global_array("zigzag", words=64, init=ZIGZAG)
+    for v in range(variants):
+        mb.global_array(f"qtab{v}", words=64, init=_qtab(v))
+        _emit_codec_variant(
+            mb.function(f"codec_v{v}", num_args=1), v
+        )
+    mb.global_array("result", words=1)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    img = b.ireg()
+    b.la(img, "img")
+    i = b.ireg()
+    b.li(i, 0)
+    npix = b.iconst(N * N)
+    b.label("fill")
+    px = b.ireg()
+    rng.bits_into(px, 255)
+    b.store_index(img, i, px)
+    b.addi(i, i, 1)
+    pf = b.preg()
+    b.cmp_lt(pf, i, npix)
+    b.br_if(pf, "fill")
+
+    ck = b.ireg()
+    b.li(ck, 0)
+    sweep = b.ireg()
+    b.li(sweep, 0)
+    sweeps = b.iconst(scale * variants)
+    b.label("sweep_loop")
+    vsel = b.ireg()
+    b.modi(vsel, sweep, variants)
+    part = b.ireg()
+    b.li(part, 0)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, vsel, v)
+        b.br_if(pv, f"disp_{v}")
+    b.jump("after")
+    for v in range(variants):
+        b.label(f"disp_{v}")
+        b.call(f"codec_v{v}", args=[sweep], ret=part)
+        b.jump("after")
+    b.label("after")
+    emit_checksum_step(b, ck, part)
+    b.addi(sweep, sweep, 1)
+    psw = b.preg()
+    b.cmp_lt(psw, sweep, sweeps)
+    b.br_if(psw, "sweep_loop")
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def _codec(img: list[int], offset: int, qtab: list[int]) -> int:
+    ck = 0
+    tmp = [0] * 64
+    for r in range(8):
+        for u in range(8):
+            acc = 0
+            for x in range(8):
+                pix = img[r * 8 + x] + offset
+                acc = wrap32(acc + wrap32(pix * COSTAB[u * 8 + x]))
+            tmp[r * 8 + u] = acc >> 6
+    coef = [0] * 64
+    for v in range(8):
+        for u in range(8):
+            acc = 0
+            for y in range(8):
+                acc = wrap32(
+                    acc + wrap32(tmp[y * 8 + v] * COSTAB[u * 8 + y])
+                )
+            acc >>= 6
+            coef[u * 8 + v] = div_trunc(acc, qtab[u * 8 + v])
+    run = 0
+    for zi in range(64):
+        cval = coef[ZIGZAG[zi]]
+        if cval != 0:
+            ck = checksum_step(ck, run)
+            ck = checksum_step(ck, cval)
+            run = 0
+        else:
+            run += 1
+    return checksum_step(ck, run)
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    rng = RngModel(_seed(scale))
+    img = [rng.bits(255) for _ in range(N * N)]
+    ck = 0
+    for sweep in range(scale * variants):
+        qtab = _qtab(sweep % variants)
+        ck = checksum_step(ck, _codec(img, sweep, qtab))
+    return ck

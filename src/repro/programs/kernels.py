@@ -1,0 +1,277 @@
+"""Tight DSP kernels for the L0-buffer study (paper Section 4).
+
+"From our experiments there are indications that tight, frequently
+executed loops (like DSP kernels) fit into the buffer completely, which
+will result in equivalent performance to an uncompressed cache."  These
+kernels have steady-state inner loops well under the 32-op L0 capacity,
+so the Compressed scheme should match Base on them — the ablation bench
+checks exactly that.
+
+``fir`` — integer FIR filter; ``dot`` — dot product; ``biquad`` — a
+floating-point IIR biquad section.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+from repro.utils.arith import wrap32
+
+FIR_TAPS = [3, -5, 7, 11, -4, 2, 9, -1]
+
+
+def _fir_seed(scale: int) -> int:
+    return scale * 3 + 2
+
+
+def build_fir(scale: int = 64) -> IRModule:
+    """FIR filter over ``16*scale`` samples with 8 integer taps."""
+    n = 16 * scale
+    taps = len(FIR_TAPS)
+    mb = ModuleBuilder("fir")
+    mb.global_array("x", words=n + taps)
+    mb.global_array("h", words=taps, init=FIR_TAPS)
+    mb.global_array("result", words=1)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _fir_seed(scale))
+    x = b.ireg()
+    b.la(x, "x")
+    h = b.ireg()
+    b.la(h, "h")
+
+    i = b.ireg()
+    b.li(i, 0)
+    total = b.iconst(n + taps)
+    b.label("gen")
+    s = b.ireg()
+    rng.bits_into(s, 255)
+    b.store_index(x, i, s)
+    b.addi(i, i, 1)
+    pg = b.preg()
+    b.cmp_lt(pg, i, total)
+    b.br_if(pg, "gen")
+
+    ck = b.ireg()
+    b.li(ck, 0)
+    npos = b.iconst(n)
+    b.li(i, 0)
+    b.label("outer")
+    acc = b.ireg()
+    b.li(acc, 0)
+    k = b.ireg()
+    b.li(k, 0)
+    ntaps = b.iconst(taps)
+    b.label("inner")
+    xi = b.ireg()
+    b.add(xi, i, k)
+    xv = b.ireg()
+    b.load_index(xv, x, xi)
+    hv = b.ireg()
+    b.load_index(hv, h, k)
+    prod = b.ireg()
+    b.mpy(prod, xv, hv)
+    b.add(acc, acc, prod)
+    b.addi(k, k, 1)
+    pi = b.preg()
+    b.cmp_lt(pi, k, ntaps)
+    b.br_if(pi, "inner")
+    emit_checksum_step(b, ck, acc)
+    b.addi(i, i, 1)
+    po = b.preg()
+    b.cmp_lt(po, i, npos)
+    b.br_if(po, "outer")
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def fir_reference(scale: int = 64) -> int:
+    n = 16 * scale
+    taps = len(FIR_TAPS)
+    rng = RngModel(_fir_seed(scale))
+    x = [rng.bits(255) for _ in range(n + taps)]
+    ck = 0
+    for i in range(n):
+        acc = 0
+        for k in range(taps):
+            acc = wrap32(acc + wrap32(x[i + k] * FIR_TAPS[k]))
+        ck = checksum_step(ck, acc)
+    return ck
+
+
+def build_dot(scale: int = 64) -> IRModule:
+    """Dot product of two ``32*scale``-element vectors, re-run 8 times."""
+    n = 32 * scale
+    mb = ModuleBuilder("dot")
+    mb.global_array("a", words=n)
+    mb.global_array("bvec", words=n)
+    mb.global_array("result", words=1)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, scale + 9)
+    av = b.ireg()
+    b.la(av, "a")
+    bv = b.ireg()
+    b.la(bv, "bvec")
+    i = b.ireg()
+    b.li(i, 0)
+    nn = b.iconst(n)
+    b.label("gen")
+    r1 = b.ireg()
+    rng.bits_into(r1, 127)
+    r2 = b.ireg()
+    rng.bits_into(r2, 127)
+    b.store_index(av, i, r1)
+    b.store_index(bv, i, r2)
+    b.addi(i, i, 1)
+    pg = b.preg()
+    b.cmp_lt(pg, i, nn)
+    b.br_if(pg, "gen")
+
+    ck = b.ireg()
+    b.li(ck, 0)
+    rep = b.ireg()
+    b.li(rep, 0)
+    reps = b.iconst(8)
+    b.label("rep_loop")
+    acc = b.ireg()
+    b.li(acc, 0)
+    b.li(i, 0)
+    b.label("dot")
+    x1 = b.ireg()
+    b.load_index(x1, av, i)
+    x2 = b.ireg()
+    b.load_index(x2, bv, i)
+    p1 = b.ireg()
+    b.mpy(p1, x1, x2)
+    b.add(acc, acc, p1)
+    b.addi(i, i, 1)
+    pd = b.preg()
+    b.cmp_lt(pd, i, nn)
+    b.br_if(pd, "dot")
+    emit_checksum_step(b, ck, acc)
+    b.addi(rep, rep, 1)
+    pr = b.preg()
+    b.cmp_lt(pr, rep, reps)
+    b.br_if(pr, "rep_loop")
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def dot_reference(scale: int = 64) -> int:
+    n = 32 * scale
+    rng = RngModel(scale + 9)
+    a = []
+    bvec = []
+    for _ in range(n):
+        a.append(rng.bits(127))
+        bvec.append(rng.bits(127))
+    ck = 0
+    for _ in range(8):
+        acc = 0
+        for i in range(n):
+            acc = wrap32(acc + wrap32(a[i] * bvec[i]))
+        ck = checksum_step(ck, acc)
+    return ck
+
+
+def build_biquad(scale: int = 48) -> IRModule:
+    """Floating-point IIR biquad over ``32*scale`` samples.
+
+    Exercises the FP register file and FP op formats; the result is the
+    integerized final state so checksums stay exact.
+    """
+    n = 32 * scale
+    mb = ModuleBuilder("biquad")
+    mb.global_array("result", words=1)
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, scale + 21)
+    # Coefficients (small exact binary fractions: no FP rounding drift).
+    b0 = b.freg()
+    c_half = b.iconst(1)
+    half = b.freg()
+    b.i2f(half, c_half)  # 1.0
+    b.fmov(b0, half)
+    a1 = b.freg()
+    qd = b.iconst(4)
+    qf = b.freg()
+    b.i2f(qf, qd)
+    b.fdiv(a1, half, qf)  # 0.25
+    z1 = b.freg()
+    zero = b.iconst(0)
+    b.i2f(z1, zero)
+    z2 = b.freg()
+    b.fmov(z2, z1)
+
+    acc = b.ireg()
+    b.li(acc, 0)
+    i = b.ireg()
+    b.li(i, 0)
+    nn = b.iconst(n)
+    b.label("loop")
+    ri = b.ireg()
+    rng.bits_into(ri, 255)
+    xf = b.freg()
+    b.i2f(xf, ri)
+    y = b.freg()
+    b.fmpy(y, xf, b0)
+    t1 = b.freg()
+    b.fmpy(t1, z1, a1)
+    b.fsub(y, y, t1)
+    t2 = b.freg()
+    b.fmpy(t2, z2, a1)
+    b.fadd(y, y, t2)
+    b.fmov(z2, z1)
+    b.fmov(z1, y)
+    yi = b.ireg()
+    b.f2i(yi, y)
+    b.add(acc, acc, yi)
+    b.addi(i, i, 1)
+    pl = b.preg()
+    b.cmp_lt(pl, i, nn)
+    b.br_if(pl, "loop")
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, acc)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def biquad_reference(scale: int = 48) -> int:
+    n = 32 * scale
+    rng = RngModel(scale + 21)
+    b0, a1 = 1.0, 0.25
+    z1 = z2 = 0.0
+    acc = 0
+    for _ in range(n):
+        x = float(rng.bits(255))
+        y = x * b0 - z1 * a1 + z2 * a1
+        z2, z1 = z1, y
+        acc = wrap32(acc + int(y))
+    return acc
+
+
+KERNELS = {
+    "fir": (build_fir, fir_reference),
+    "dot": (build_dot, dot_reference),
+    "biquad": (build_biquad, biquad_reference),
+}

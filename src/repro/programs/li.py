@@ -1,0 +1,291 @@
+"""``li`` — a cons-cell list interpreter.
+
+Lists live in two parallel arrays (``car``/``cdr``) with a bump
+allocator; cell 0 is nil.  Each iteration builds a list recursively,
+maps a squaring function over it, reverses it, and folds sum and length
+— all via deeply recursive functions, making this the call/return-heavy
+member of the suite (the paper treats calls as block-ending branches, so
+this stresses the ATB/return path).
+
+Checksum folds ``sum(map(sq, xs)) + length(xs)`` per iteration.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import checksum_step, emit_checksum_step
+from repro.utils.arith import wrap32
+
+DEFAULT_SCALE = 14
+DEFAULT_VARIANTS = 6
+
+POOL = 512
+BASE_LEN = 24
+
+
+def _transform(v: int, h: int) -> int:
+    """Python twin of the per-variant map transforms."""
+    if v % 6 == 0:
+        return wrap32(h * h) & 0xFFFF
+    if v % 6 == 1:
+        return wrap32(h * h + 7) & 0xFFFF
+    if v % 6 == 2:
+        return (wrap32(h ^ 0x5A) + wrap32(h << 1)) & 0xFFFF
+    if v % 6 == 3:
+        return wrap32(h * 3 + 11) & 0xFFFF
+    if v % 6 == 4:
+        return (wrap32(h << 2) - h) & 0xFFFF
+    return ((h & 0xFF) * (h & 15)) & 0xFFFF
+
+
+def _emit_transform(f, v: int, h, val) -> None:
+    """IR twin of :func:`_transform` (dest ``val`` from source ``h``)."""
+    mask = f.iconst(0xFFFF)
+    if v % 6 == 0:
+        f.mpy(val, h, h)
+    elif v % 6 == 1:
+        f.mpy(val, h, h)
+        f.addi(val, val, 7)
+    elif v % 6 == 2:
+        a = f.ireg()
+        f.xori(a, h, 0x5A)
+        s = f.ireg()
+        f.shli(s, h, 1)
+        f.add(val, a, s)
+    elif v % 6 == 3:
+        f.mpyi(val, h, 3)
+        f.addi(val, val, 11)
+    elif v % 6 == 4:
+        f.shli(val, h, 2)
+        f.sub(val, val, h)
+    else:
+        a = f.ireg()
+        f.andi(a, h, 0xFF)
+        c = f.ireg()
+        f.andi(c, h, 15)
+        f.mpy(val, a, c)
+    f.and_(val, val, mask)
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    mb = ModuleBuilder("li")
+    mb.global_array("car", words=POOL)
+    mb.global_array("cdr", words=POOL)
+    mb.global_array("freep", words=1, init=[1])
+    mb.global_array("result", words=1)
+
+    # cons(a, d) -> new cell index
+    f = mb.function("cons", num_args=2)
+    a, d = f.arg(0), f.arg(1)
+    fp = f.ireg()
+    f.la(fp, "freep")
+    idx = f.ireg()
+    f.load(idx, fp)
+    carb = f.ireg()
+    f.la(carb, "car")
+    cdrb = f.ireg()
+    f.la(cdrb, "cdr")
+    f.store_index(carb, idx, a)
+    f.store_index(cdrb, idx, d)
+    nxt = f.ireg()
+    f.addi(nxt, idx, 1)
+    f.store(fp, nxt)
+    f.ret(idx)
+    f.done()
+
+    # build_list(n, mix) -> list of n values (recursive)
+    f = mb.function("build_list", num_args=2)
+    n, mix = f.arg(0), f.arg(1)
+    p = f.preg()
+    f.cmpi_eq(p, n, 0)
+    f.br_if(p, "empty")
+    val = f.ireg()
+    f.mpy(val, n, mix)
+    f.andi(val, val, 255)
+    n1 = f.ireg()
+    f.subi(n1, n, 1)
+    rest = f.ireg()
+    f.call("build_list", args=[n1, mix], ret=rest)
+    cell = f.ireg()
+    f.call("cons", args=[val, rest], ret=cell)
+    f.ret(cell)
+    f.label("empty")
+    nil = f.ireg()
+    f.li(nil, 0)
+    f.ret(nil)
+    f.done()
+
+    # map_v<i>(p) -> new list with a variant-specific transform
+    # (recursive; the map variants are the code-replication knob).
+    for v in range(variants):
+        f = mb.function(f"map_v{v}", num_args=1)
+        lst = f.arg(0)
+        pn = f.preg()
+        f.cmpi_eq(pn, lst, 0)
+        f.br_if(pn, "mnil")
+        carb2 = f.ireg()
+        f.la(carb2, "car")
+        cdrb2 = f.ireg()
+        f.la(cdrb2, "cdr")
+        h = f.ireg()
+        f.load_index(h, carb2, lst)
+        val = f.ireg()
+        _emit_transform(f, v, h, val)
+        t = f.ireg()
+        f.load_index(t, cdrb2, lst)
+        mt = f.ireg()
+        f.call(f"map_v{v}", args=[t], ret=mt)
+        cell2 = f.ireg()
+        f.call("cons", args=[val, mt], ret=cell2)
+        f.ret(cell2)
+        f.label("mnil")
+        nil2 = f.ireg()
+        f.li(nil2, 0)
+        f.ret(nil2)
+        f.done()
+
+    # rev_append(p, acc) -> reversed p ++ acc (recursive)
+    f = mb.function("rev_append", num_args=2)
+    lst2, acc = f.arg(0), f.arg(1)
+    pr = f.preg()
+    f.cmpi_eq(pr, lst2, 0)
+    f.br_if(pr, "rnil")
+    carb3 = f.ireg()
+    f.la(carb3, "car")
+    cdrb3 = f.ireg()
+    f.la(cdrb3, "cdr")
+    h2 = f.ireg()
+    f.load_index(h2, carb3, lst2)
+    t2 = f.ireg()
+    f.load_index(t2, cdrb3, lst2)
+    cell3 = f.ireg()
+    f.call("cons", args=[h2, acc], ret=cell3)
+    res = f.ireg()
+    f.call("rev_append", args=[t2, cell3], ret=res)
+    f.ret(res)
+    f.label("rnil")
+    f.ret(acc)
+    f.done()
+
+    # sum_list(p) -> sum of values (recursive)
+    f = mb.function("sum_list", num_args=1)
+    lst3 = f.arg(0)
+    ps = f.preg()
+    f.cmpi_eq(ps, lst3, 0)
+    f.br_if(ps, "snil")
+    carb4 = f.ireg()
+    f.la(carb4, "car")
+    cdrb4 = f.ireg()
+    f.la(cdrb4, "cdr")
+    h3 = f.ireg()
+    f.load_index(h3, carb4, lst3)
+    t3 = f.ireg()
+    f.load_index(t3, cdrb4, lst3)
+    rest2 = f.ireg()
+    f.call("sum_list", args=[t3], ret=rest2)
+    total = f.ireg()
+    f.add(total, h3, rest2)
+    f.ret(total)
+    f.label("snil")
+    z = f.ireg()
+    f.li(z, 0)
+    f.ret(z)
+    f.done()
+
+    # length(p) (recursive)
+    f = mb.function("length", num_args=1)
+    lst4 = f.arg(0)
+    pl = f.preg()
+    f.cmpi_eq(pl, lst4, 0)
+    f.br_if(pl, "lnil")
+    cdrb5 = f.ireg()
+    f.la(cdrb5, "cdr")
+    t4 = f.ireg()
+    f.load_index(t4, cdrb5, lst4)
+    rest3 = f.ireg()
+    f.call("length", args=[t4], ret=rest3)
+    n4 = f.ireg()
+    f.addi(n4, rest3, 1)
+    f.ret(n4)
+    f.label("lnil")
+    z2 = f.ireg()
+    f.li(z2, 0)
+    f.ret(z2)
+    f.done()
+
+    # ------------------------------------------------------------- main
+    b = mb.function("main", num_args=0)
+    ck = b.ireg()
+    b.li(ck, 0)
+    t5 = b.ireg()
+    b.li(t5, 0)
+    iters = b.iconst(scale)
+    b.label("iter")
+    # Reset the allocator each iteration (cell 0 stays nil).
+    fpm = b.ireg()
+    b.la(fpm, "freep")
+    one = b.iconst(1)
+    b.store(fpm, one)
+    length = b.ireg()
+    b.modi(length, t5, 8)
+    b.addi(length, length, BASE_LEN)
+    mix = b.ireg()
+    b.addi(mix, t5, 3)
+    xs = b.ireg()
+    b.call("build_list", args=[length, mix], ret=xs)
+    vsel = b.ireg()
+    b.modi(vsel, t5, variants)
+    ms = b.ireg()
+    b.li(ms, 0)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, vsel, v)
+        b.br_if(pv, f"map_disp_{v}")
+    b.jump("map_done")
+    for v in range(variants):
+        b.label(f"map_disp_{v}")
+        b.call(f"map_v{v}", args=[xs], ret=ms)
+        b.jump("map_done")
+    b.label("map_done")
+    nilr = b.ireg()
+    b.li(nilr, 0)
+    rv = b.ireg()
+    b.call("rev_append", args=[ms, nilr], ret=rv)
+    s = b.ireg()
+    b.call("sum_list", args=[rv], ret=s)
+    ln = b.ireg()
+    b.call("length", args=[rv], ret=ln)
+    both = b.ireg()
+    b.add(both, s, ln)
+    emit_checksum_step(b, ck, both)
+    b.addi(t5, t5, 1)
+    pit = b.preg()
+    b.cmp_lt(pit, t5, iters)
+    b.br_if(pit, "iter")
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    ck = 0
+    for t in range(scale):
+        length = t % 8 + BASE_LEN
+        mix = t + 3
+        xs = [wrap32(n * mix) & 255 for n in range(length, 0, -1)]
+        ms = [_transform(t % variants, x) for x in xs]
+        rv = list(reversed(ms))
+        total = 0
+        for value in rv:
+            total = wrap32(total + value)
+        ck = checksum_step(ck, wrap32(total + len(rv)))
+    return ck

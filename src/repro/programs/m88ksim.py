@@ -1,0 +1,317 @@
+"""``m88ksim`` — an instruction-set interpreter.
+
+A synthetic 16-register guest ISA (packed ``op|rd|rs|rt`` words) is
+generated once, then interpreted for ``scale*variants`` passes.  Each
+pass runs one of several *specialized interpreter copies* (different
+immediate/shift masks — like interpreters specialized per guest mode),
+rotating the code working set.  Fetch, field decode, and an 8-way
+chained-compare dispatch over guest register/memory state — the classic
+interpreter profile, with a dominant dispatch pattern plus
+data-dependent skip branches.
+
+Checksum folds the XOR of all guest registers after every pass.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import FunctionBuilder, ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+from repro.utils.arith import wrap32
+
+DEFAULT_SCALE = 4
+DEFAULT_VARIANTS = 4
+
+PROG_LEN = 96
+GUEST_REGS = 16
+GUEST_MEM = 256
+
+#: Per-variant (ldi_mask, shift_mask) specialization constants.
+VARIANT_MASKS = ((0xFF, 7), (0x7F, 3), (0x3F, 7), (0xFF, 15),
+                 (0x1F, 7), (0x7F, 15))
+
+
+def _seed(scale: int) -> int:
+    return scale * 17 + 11
+
+
+def _gen_instr(r: int) -> int:
+    """One packed guest instruction from 16 random bits (skewed mix)."""
+    sel = (r >> 12) & 15
+    if sel < 5:
+        op = 0  # add
+    elif sel < 9:
+        op = 1  # sub
+    elif sel < 11:
+        op = 2  # xor
+    elif sel < 12:
+        op = 3  # shift
+    elif sel < 13:
+        op = 4  # load-immediate
+    elif sel < 14:
+        op = 5  # load
+    elif sel < 15:
+        op = 6  # store
+    else:
+        op = 7  # skip-if-nonzero
+    return (op << 12) | (r & 0xFFF)
+
+
+def _emit_interp_variant(b: FunctionBuilder, index: int) -> None:
+    """``interp_v<i>() -> xor-fold of guest registers``."""
+    ldi_mask, shift_mask = VARIANT_MASKS[index % len(VARIANT_MASKS)]
+    gprog = b.ireg()
+    b.la(gprog, "gprog")
+    gregs = b.ireg()
+    b.la(gregs, "gregs")
+    gmem = b.ireg()
+    b.la(gmem, "gmem")
+
+    pc = b.ireg()
+    b.li(pc, 0)
+    b.label("fetch")
+    ins = b.ireg()
+    b.load_index(ins, gprog, pc)
+    opf = b.ireg()
+    b.shri(opf, ins, 12)
+    b.andi(opf, opf, 7)
+    rd = b.ireg()
+    b.shri(rd, ins, 8)
+    b.andi(rd, rd, 15)
+    rs = b.ireg()
+    b.shri(rs, ins, 4)
+    b.andi(rs, rs, 15)
+    rt = b.ireg()
+    b.andi(rt, ins, 15)
+    vs = b.ireg()
+    b.load_index(vs, gregs, rs)
+    vt = b.ireg()
+    b.load_index(vt, gregs, rt)
+
+    for code, label in enumerate(
+        ("op_add", "op_sub", "op_xor", "op_shift", "op_ldi", "op_load",
+         "op_store", "op_skip")
+    ):
+        pd = b.preg()
+        b.cmpi_eq(pd, opf, code)
+        b.br_if(pd, label)
+    b.jump("next_pc")
+
+    res = b.ireg()
+
+    b.label("op_add")
+    b.add(res, vs, vt)
+    b.store_index(gregs, rd, res)
+    b.jump("next_pc")
+
+    b.label("op_sub")
+    b.sub(res, vs, vt)
+    b.store_index(gregs, rd, res)
+    b.jump("next_pc")
+
+    b.label("op_xor")
+    b.xor(res, vs, vt)
+    b.store_index(gregs, rd, res)
+    b.jump("next_pc")
+
+    b.label("op_shift")
+    amt = b.ireg()
+    b.andi(amt, vt, shift_mask)
+    b.shl(res, vs, amt)
+    b.store_index(gregs, rd, res)
+    b.jump("next_pc")
+
+    b.label("op_ldi")
+    b.andi(res, ins, ldi_mask)
+    b.store_index(gregs, rd, res)
+    b.jump("next_pc")
+
+    b.label("op_load")
+    addr = b.ireg()
+    b.add(addr, vs, rt)
+    b.andi(addr, addr, GUEST_MEM - 1)
+    b.load_index(res, gmem, addr)
+    b.store_index(gregs, rd, res)
+    b.jump("next_pc")
+
+    b.label("op_store")
+    addr2 = b.ireg()
+    b.add(addr2, vs, rt)
+    b.andi(addr2, addr2, GUEST_MEM - 1)
+    vd = b.ireg()
+    b.load_index(vd, gregs, rd)
+    b.store_index(gmem, addr2, vd)
+    b.jump("next_pc")
+
+    b.label("op_skip")
+    vd2 = b.ireg()
+    b.load_index(vd2, gregs, rd)
+    psk = b.preg()
+    b.cmpi_eq(psk, vd2, 0)
+    b.br_if(psk, "next_pc")
+    b.addi(pc, pc, 1)
+
+    b.label("next_pc")
+    b.addi(pc, pc, 1)
+    plen = b.iconst(PROG_LEN)
+    pfp = b.preg()
+    b.cmp_lt(pfp, pc, plen)
+    b.br_if(pfp, "fetch")
+
+    acc = b.ireg()
+    b.li(acc, 0)
+    j = b.ireg()
+    b.li(j, 0)
+    nregs = b.iconst(GUEST_REGS)
+    b.label("fold")
+    gv = b.ireg()
+    b.load_index(gv, gregs, j)
+    b.xor(acc, acc, gv)
+    b.addi(j, j, 1)
+    pfo = b.preg()
+    b.cmp_lt(pfo, j, nregs)
+    b.br_if(pfo, "fold")
+    b.ret(acc)
+    b.done()
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    mb = ModuleBuilder("m88ksim")
+    mb.global_array("gprog", words=PROG_LEN)
+    mb.global_array("gregs", words=GUEST_REGS)
+    mb.global_array("gmem", words=GUEST_MEM)
+    mb.global_array("result", words=1)
+
+    for v in range(variants):
+        _emit_interp_variant(
+            mb.function(f"interp_v{v}", num_args=0), v
+        )
+
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    gprog = b.ireg()
+    b.la(gprog, "gprog")
+
+    i = b.ireg()
+    b.li(i, 0)
+    plen = b.iconst(PROG_LEN)
+    b.label("gen")
+    r = b.ireg()
+    rng.bits_into(r, 0xFFFF)
+    sel = b.ireg()
+    b.shri(sel, r, 12)
+    b.andi(sel, sel, 15)
+    low = b.ireg()
+    b.andi(low, r, 0xFFF)
+    op = b.ireg()
+    b.li(op, 7)
+    for threshold, code in ((15, 6), (14, 5), (13, 4), (12, 3), (11, 2),
+                            (9, 1), (5, 0)):
+        pt = b.preg()
+        b.cmpi_lt(pt, sel, threshold)
+        tmp = b.iconst(code)
+        b.mov(op, tmp, predicate=pt)
+    packed = b.ireg()
+    b.shli(packed, op, 12)
+    b.or_(packed, packed, low)
+    b.store_index(gprog, i, packed)
+    b.addi(i, i, 1)
+    pg = b.preg()
+    b.cmp_lt(pg, i, plen)
+    b.br_if(pg, "gen")
+
+    ck = b.ireg()
+    b.li(ck, 0)
+    npass = b.ireg()
+    b.li(npass, 0)
+    passes = b.iconst(scale * variants)
+    b.label("pass_loop")
+    vsel = b.ireg()
+    b.modi(vsel, npass, variants)
+    acc = b.ireg()
+    b.li(acc, 0)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, vsel, v)
+        b.br_if(pv, f"disp_{v}")
+    b.jump("after")
+    for v in range(variants):
+        b.label(f"disp_{v}")
+        b.call(f"interp_v{v}", ret=acc)
+        b.jump("after")
+    b.label("after")
+    emit_checksum_step(b, ck, acc)
+    b.addi(npass, npass, 1)
+    ppp = b.preg()
+    b.cmp_lt(ppp, npass, passes)
+    b.br_if(ppp, "pass_loop")
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def _interp_pass(
+    gprog: list[int],
+    gregs: list[int],
+    gmem: list[int],
+    masks: tuple[int, int],
+) -> int:
+    ldi_mask, shift_mask = masks
+    pc = 0
+    while pc < PROG_LEN:
+        ins = gprog[pc]
+        op = (ins >> 12) & 7
+        rd = (ins >> 8) & 15
+        rs = (ins >> 4) & 15
+        rt = ins & 15
+        vs, vt = gregs[rs], gregs[rt]
+        if op == 0:
+            gregs[rd] = wrap32(vs + vt)
+        elif op == 1:
+            gregs[rd] = wrap32(vs - vt)
+        elif op == 2:
+            gregs[rd] = wrap32(vs ^ vt)
+        elif op == 3:
+            gregs[rd] = wrap32(vs << (vt & shift_mask))
+        elif op == 4:
+            gregs[rd] = ins & ldi_mask
+        elif op == 5:
+            gregs[rd] = gmem[wrap32(vs + rt) & (GUEST_MEM - 1)]
+        elif op == 6:
+            gmem[wrap32(vs + rt) & (GUEST_MEM - 1)] = gregs[rd]
+        else:
+            if gregs[rd] != 0:
+                pc += 1
+        pc += 1
+    acc = 0
+    for v in gregs:
+        acc = wrap32(acc ^ v)
+    return acc
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    rng = RngModel(_seed(scale))
+    gprog = [_gen_instr(rng.bits(0xFFFF)) for _ in range(PROG_LEN)]
+    gregs = [0] * GUEST_REGS
+    gmem = [0] * GUEST_MEM
+    ck = 0
+    for npass in range(scale * variants):
+        masks = VARIANT_MASKS[(npass % variants) % len(VARIANT_MASKS)]
+        ck = checksum_step(
+            ck, _interp_pass(gprog, gregs, gmem, masks)
+        )
+    return ck

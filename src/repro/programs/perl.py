@@ -1,0 +1,320 @@
+"""``perl`` — string hashing, an associative table, and pattern search.
+
+Generates a pool of random lowercase strings, djb2-hashes each into an
+open-addressed table, re-looks half of them up, then counts occurrences
+of a 3-character pattern with a naive scanner.  Byte-granularity loops
+with short, data-dependent trip counts — the string-processing profile
+of the SPEC original.
+
+Checksum folds inserted hashes, lookup hits and the match count.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+from repro.utils.arith import unsigned32, wrap32
+
+DEFAULT_SCALE = 16
+DEFAULT_VARIANTS = 6
+
+TABLE = 512
+TABLE_MASK = TABLE - 1
+MIN_LEN = 8
+LEN_MASK = 15  # length = MIN_LEN + (r & 15)
+
+#: Per-variant (init, multiplier) hash constants (djb2 relatives).
+HASH_VARIANTS = ((5381, 33), (0, 31), (7, 37), (123, 65599), (17, 101),
+                 (99, 131), (1, 257), (42, 61))
+
+
+def _seed(scale: int) -> int:
+    return scale * 23 + 7
+
+
+def _num_strings(scale: int) -> int:
+    return 4 * scale
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    nstr = _num_strings(scale)
+    arena_words = nstr * (MIN_LEN + LEN_MASK + 1)
+    mb = ModuleBuilder("perl")
+    mb.global_array("arena", words=arena_words)
+    mb.global_array("offs", words=nstr)
+    mb.global_array("lens", words=nstr)
+    mb.global_array("hkey", words=TABLE)
+    mb.global_array("hval", words=TABLE)
+    mb.global_array("result", words=1)
+
+    # hash_v<i>(off, len) — per-variant multiplicative string hashes.
+    for v in range(variants):
+        init, mult = HASH_VARIANTS[v % len(HASH_VARIANTS)]
+        f = mb.function(f"hash_v{v}", num_args=2)
+        off, length = f.arg(0), f.arg(1)
+        arena = f.ireg()
+        f.la(arena, "arena")
+        h = f.ireg()
+        f.li(h, init)
+        j = f.ireg()
+        f.li(j, 0)
+        f.label("hloop")
+        idx = f.ireg()
+        f.add(idx, off, j)
+        c = f.ireg()
+        f.load_index(c, arena, idx)
+        t = f.ireg()
+        f.mpyi(t, h, mult)
+        f.add(h, t, c)
+        f.addi(j, j, 1)
+        ph = f.preg()
+        f.cmp_lt(ph, j, length)
+        f.br_if(ph, "hloop")
+        f.ret(h)
+        f.done()
+
+    # ------------------------------------------------------------- main
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    arena_m = b.ireg()
+    b.la(arena_m, "arena")
+    offs = b.ireg()
+    b.la(offs, "offs")
+    lens = b.ireg()
+    b.la(lens, "lens")
+    hkey = b.ireg()
+    b.la(hkey, "hkey")
+    hval = b.ireg()
+    b.la(hval, "hval")
+    ck = b.ireg()
+    b.li(ck, 0)
+
+    # Phase 1: generate strings.
+    cursor = b.ireg()
+    b.li(cursor, 0)
+    s = b.ireg()
+    b.li(s, 0)
+    nstr_c = b.iconst(nstr)
+    b.label("gen_str")
+    lr = b.ireg()
+    rng.bits_into(lr, LEN_MASK)
+    slen = b.ireg()
+    b.addi(slen, lr, MIN_LEN)
+    b.store_index(offs, s, cursor)
+    b.store_index(lens, s, slen)
+    j2 = b.ireg()
+    b.li(j2, 0)
+    b.label("gen_chars")
+    cr = b.ireg()
+    rng.bits_into(cr, 31)
+    b.modi(cr, cr, 26)
+    pos = b.ireg()
+    b.add(pos, cursor, j2)
+    b.store_index(arena_m, pos, cr)
+    b.addi(j2, j2, 1)
+    pgc = b.preg()
+    b.cmp_lt(pgc, j2, slen)
+    b.br_if(pgc, "gen_chars")
+    b.add(cursor, cursor, slen)
+    b.addi(s, s, 1)
+    pgs = b.preg()
+    b.cmp_lt(pgs, s, nstr_c)
+    b.br_if(pgs, "gen_str")
+
+    # Phase 2: insert every string into the hash table.
+    b.li(s, 0)
+    b.label("insert")
+    ioff = b.ireg()
+    b.load_index(ioff, offs, s)
+    ilen = b.ireg()
+    b.load_index(ilen, lens, s)
+    hh = b.ireg()
+    b.li(hh, 0)
+    ivsel = b.ireg()
+    b.modi(ivsel, s, variants)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, ivsel, v)
+        b.br_if(pv, f"ins_hash_{v}")
+    b.jump("ins_hashed")
+    for v in range(variants):
+        b.label(f"ins_hash_{v}")
+        b.call(f"hash_v{v}", args=[ioff, ilen], ret=hh)
+        b.jump("ins_hashed")
+    b.label("ins_hashed")
+    slot = b.ireg()
+    b.andi(slot, hh, TABLE_MASK)
+    b.label("ins_probe")
+    k = b.ireg()
+    b.load_index(k, hkey, slot)
+    pke = b.preg()
+    b.cmpi_eq(pke, k, 0)
+    b.br_if(pke, "ins_here")
+    b.addi(slot, slot, 1)
+    b.andi(slot, slot, TABLE_MASK)
+    b.jump("ins_probe")
+    b.label("ins_here")
+    hp1 = b.ireg()
+    b.addi(hp1, hh, 1)
+    b.store_index(hkey, slot, hp1)
+    b.store_index(hval, slot, s)
+    emit_checksum_step(b, ck, hh)
+    b.addi(s, s, 1)
+    nstr_c2 = b.iconst(nstr)
+    pis = b.preg()
+    b.cmp_lt(pis, s, nstr_c2)
+    b.br_if(pis, "insert")
+
+    # Phase 3: look up every other string, fold the stored index.
+    b.li(s, 0)
+    b.label("lookup")
+    loff = b.ireg()
+    b.load_index(loff, offs, s)
+    llen = b.ireg()
+    b.load_index(llen, lens, s)
+    lh = b.ireg()
+    b.li(lh, 0)
+    lvsel = b.ireg()
+    b.modi(lvsel, s, variants)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, lvsel, v)
+        b.br_if(pv, f"lk_hash_{v}")
+    b.jump("lk_hashed")
+    for v in range(variants):
+        b.label(f"lk_hash_{v}")
+        b.call(f"hash_v{v}", args=[loff, llen], ret=lh)
+        b.jump("lk_hashed")
+    b.label("lk_hashed")
+    lslot = b.ireg()
+    b.andi(lslot, lh, TABLE_MASK)
+    lkey = b.ireg()
+    b.addi(lkey, lh, 1)
+    b.label("lk_probe")
+    lk = b.ireg()
+    b.load_index(lk, hkey, lslot)
+    plm = b.preg()
+    b.cmp_eq(plm, lk, lkey)
+    b.br_if(plm, "lk_found")
+    ple = b.preg()
+    b.cmpi_eq(ple, lk, 0)
+    b.br_if(ple, "lk_next")  # absent (cannot happen; defensive)
+    b.addi(lslot, lslot, 1)
+    b.andi(lslot, lslot, TABLE_MASK)
+    b.jump("lk_probe")
+    b.label("lk_found")
+    lv = b.ireg()
+    b.load_index(lv, hval, lslot)
+    emit_checksum_step(b, ck, lv)
+    b.label("lk_next")
+    b.addi(s, s, 2)
+    nstr_c3 = b.iconst(nstr)
+    plk = b.preg()
+    b.cmp_lt(plk, s, nstr_c3)
+    b.br_if(plk, "lookup")
+
+    # Phase 4: count occurrences of the pattern (0, 1, 2) in the arena.
+    count = b.ireg()
+    b.li(count, 0)
+    end = b.ireg()
+    b.mov(end, cursor)
+    b.subi(end, end, 2)
+    p4 = b.ireg()
+    b.li(p4, 0)
+    b.label("scan")
+    c0 = b.ireg()
+    b.load_index(c0, arena_m, p4)
+    pc0 = b.preg()
+    b.cmpi_ne(pc0, c0, 0)
+    b.br_if(pc0, "scan_next")
+    p4b = b.ireg()
+    b.addi(p4b, p4, 1)
+    c1 = b.ireg()
+    b.load_index(c1, arena_m, p4b)
+    pc1 = b.preg()
+    b.cmpi_ne(pc1, c1, 1)
+    b.br_if(pc1, "scan_next")
+    p4c = b.ireg()
+    b.addi(p4c, p4, 2)
+    c2 = b.ireg()
+    b.load_index(c2, arena_m, p4c)
+    pc2 = b.preg()
+    b.cmpi_ne(pc2, c2, 2)
+    b.br_if(pc2, "scan_next")
+    b.addi(count, count, 1)
+    b.label("scan_next")
+    b.addi(p4, p4, 1)
+    psc = b.preg()
+    b.cmp_lt(psc, p4, end)
+    b.br_if(psc, "scan")
+    emit_checksum_step(b, ck, count)
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    nstr = _num_strings(scale)
+    rng = RngModel(_seed(scale))
+    arena: list[int] = []
+    offs: list[int] = []
+    lens: list[int] = []
+    for _ in range(nstr):
+        slen = MIN_LEN + rng.bits(LEN_MASK)
+        offs.append(len(arena))
+        lens.append(slen)
+        arena.extend(rng.bits(31) % 26 for _ in range(slen))
+    hkey = [0] * TABLE
+    hval = [0] * TABLE
+    ck = 0
+
+    def string_hash(s: int, off: int, length: int) -> int:
+        init, mult = HASH_VARIANTS[
+            (s % variants) % len(HASH_VARIANTS)
+        ]
+        h = init
+        for j in range(length):
+            h = wrap32(h * mult + arena[off + j])
+        return h
+
+    for s in range(nstr):
+        h = string_hash(s, offs[s], lens[s])
+        slot = h & TABLE_MASK
+        while hkey[slot] != 0:
+            slot = (slot + 1) & TABLE_MASK
+        hkey[slot] = wrap32(h + 1)
+        hval[slot] = s
+        ck = checksum_step(ck, h)
+    for s in range(0, nstr, 2):
+        h = string_hash(s, offs[s], lens[s])
+        slot = h & TABLE_MASK
+        key = wrap32(h + 1)
+        while hkey[slot] != key:
+            if hkey[slot] == 0:
+                break
+            slot = (slot + 1) & TABLE_MASK
+        else:
+            pass
+        if hkey[slot] == key:
+            ck = checksum_step(ck, hval[slot])
+    count = 0
+    for p in range(len(arena) - 2):
+        if arena[p] == 0 and arena[p + 1] == 1 and arena[p + 2] == 2:
+            count += 1
+    ck = checksum_step(ck, count)
+    return ck

@@ -1,0 +1,337 @@
+"""``vortex`` — an in-memory record store with a sorted index.
+
+Records (id, two payload fields) are inserted through an
+insertion-sorted index (shift loops), then a query mix runs binary
+searches over the index with periodic field updates on hits — the
+pointer-chasing, search-heavy profile of the SPEC original (an OO
+database).
+
+Checksum folds the query accumulator after every query batch.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.builder import ModuleBuilder
+from repro.compiler.ir import IRModule
+from repro.programs.common import (
+    RngEmitter,
+    RngModel,
+    checksum_step,
+    emit_checksum_step,
+)
+from repro.utils.arith import wrap32
+
+DEFAULT_SCALE = 12
+DEFAULT_VARIANTS = 6
+
+QUERIES_PER_RECORD = 3
+BATCH = 64
+
+
+def _agg(v: int, a: int, b: int) -> int:
+    """Python twin of the per-variant aggregate functions."""
+    v %= 6
+    if v == 0:
+        return wrap32(a - b)
+    if v == 1:
+        return wrap32(a + wrap32(b << 1))
+    if v == 2:
+        return wrap32(a ^ b)
+    if v == 3:
+        return wrap32(max(a, b) - min(a, b))
+    if v == 4:
+        return wrap32((a & 0xFF) * (b & 15))
+    return wrap32(a + b - (a >> 2))
+
+
+def _emit_agg_variant(f, index: int) -> None:
+    """``agg_v<i>(rec) -> combined field value`` for one record."""
+    rec = f.arg(0)
+    val1b = f.ireg()
+    f.la(val1b, "val1")
+    val2b = f.ireg()
+    f.la(val2b, "val2")
+    a = f.ireg()
+    f.load_index(a, val1b, rec)
+    c = f.ireg()
+    f.load_index(c, val2b, rec)
+    out = f.ireg()
+    v = index % 6
+    if v == 0:
+        f.sub(out, a, c)
+    elif v == 1:
+        t = f.ireg()
+        f.shli(t, c, 1)
+        f.add(out, a, t)
+    elif v == 2:
+        f.xor(out, a, c)
+    elif v == 3:
+        hi = f.ireg()
+        f.max_(hi, a, c)
+        lo = f.ireg()
+        f.min_(lo, a, c)
+        f.sub(out, hi, lo)
+    elif v == 4:
+        t1 = f.ireg()
+        f.andi(t1, a, 0xFF)
+        t2 = f.ireg()
+        f.andi(t2, c, 15)
+        f.mpy(out, t1, t2)
+    else:
+        t = f.ireg()
+        f.srai(t, a, 2)
+        f.add(out, a, c)
+        f.sub(out, out, t)
+    f.ret(out)
+    f.done()
+
+
+def _seed(scale: int) -> int:
+    return scale * 41 + 17
+
+
+def _num_records(scale: int) -> int:
+    return 8 * scale
+
+
+def build(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> IRModule:
+    n = _num_records(scale)
+    nq = QUERIES_PER_RECORD * n
+    mb = ModuleBuilder("vortex")
+    mb.global_array("rid", words=n)
+    mb.global_array("val1", words=n)
+    mb.global_array("val2", words=n)
+    mb.global_array("index", words=n)
+    mb.global_array("count", words=1)
+    mb.global_array("result", words=1)
+
+    for v in range(variants):
+        _emit_agg_variant(mb.function(f"agg_v{v}", num_args=1), v)
+
+    # find(id) -> record number or -1 (binary search over the index).
+    f = mb.function("find", num_args=1)
+    ident = f.arg(0)
+    ridb = f.ireg()
+    f.la(ridb, "rid")
+    idxb = f.ireg()
+    f.la(idxb, "index")
+    cntb = f.ireg()
+    f.la(cntb, "count")
+    cnt = f.ireg()
+    f.load(cnt, cntb)
+    lo = f.ireg()
+    f.li(lo, 0)
+    hi = f.ireg()
+    f.subi(hi, cnt, 1)
+    found = f.ireg()
+    f.li(found, -1)
+    f.label("bs")
+    pover = f.preg()
+    f.cmp_gt(pover, lo, hi)
+    f.br_if(pover, "bs_done")
+    mid = f.ireg()
+    f.add(mid, lo, hi)
+    f.srai(mid, mid, 1)
+    rec = f.ireg()
+    f.load_index(rec, idxb, mid)
+    v = f.ireg()
+    f.load_index(v, ridb, rec)
+    peq = f.preg()
+    f.cmp_eq(peq, v, ident)
+    f.br_if(peq, "bs_hit")
+    plt = f.preg()
+    f.cmp_lt(plt, v, ident)
+    f.br_if(plt, "bs_right")
+    f.subi(hi, mid, 1)
+    f.jump("bs")
+    f.label("bs_right")
+    f.addi(lo, mid, 1)
+    f.jump("bs")
+    f.label("bs_hit")
+    f.mov(found, rec)
+    f.label("bs_done")
+    f.ret(found)
+    f.done()
+
+    # ------------------------------------------------------------- main
+    b = mb.function("main", num_args=0)
+    rng = RngEmitter(b, _seed(scale))
+    ridb2 = b.ireg()
+    b.la(ridb2, "rid")
+    val1b = b.ireg()
+    b.la(val1b, "val1")
+    val2b = b.ireg()
+    b.la(val2b, "val2")
+    idxb2 = b.ireg()
+    b.la(idxb2, "index")
+    cntb2 = b.ireg()
+    b.la(cntb2, "count")
+    ck = b.ireg()
+    b.li(ck, 0)
+
+    # Phase 1: insert records, keeping the index sorted by id.
+    rno = b.ireg()
+    b.li(rno, 0)
+    nrec = b.iconst(n)
+    b.label("insert")
+    ident2 = b.ireg()
+    rng.bits_into(ident2, 0xFFFF)
+    v1 = b.ireg()
+    b.andi(v1, ident2, 1023)
+    v2 = b.ireg()
+    b.shri(v2, ident2, 6)
+    b.store_index(ridb2, rno, ident2)
+    b.store_index(val1b, rno, v1)
+    b.store_index(val2b, rno, v2)
+    # Shift larger index entries right.
+    cnt2 = b.ireg()
+    b.load(cnt2, cntb2)
+    pos = b.ireg()
+    b.mov(pos, cnt2)
+    b.label("shift")
+    pz = b.preg()
+    b.cmpi_le(pz, pos, 0)
+    b.br_if(pz, "place")
+    prev = b.ireg()
+    b.subi(prev, pos, 1)
+    prec = b.ireg()
+    b.load_index(prec, idxb2, prev)
+    pid = b.ireg()
+    b.load_index(pid, ridb2, prec)
+    ple = b.preg()
+    b.cmp_le(ple, pid, ident2)
+    b.br_if(ple, "place")
+    b.store_index(idxb2, pos, prec)
+    b.subi(pos, pos, 1)
+    b.jump("shift")
+    b.label("place")
+    b.store_index(idxb2, pos, rno)
+    newcnt = b.ireg()
+    b.addi(newcnt, cnt2, 1)
+    b.store(cntb2, newcnt)
+    b.addi(rno, rno, 1)
+    pins = b.preg()
+    b.cmp_lt(pins, rno, nrec)
+    b.br_if(pins, "insert")
+
+    # Phase 2: queries with periodic updates.
+    acc = b.ireg()
+    b.li(acc, 0)
+    q = b.ireg()
+    b.li(q, 0)
+    nq_c = b.iconst(nq)
+    b.label("query")
+    qid = b.ireg()
+    rng.bits_into(qid, 0xFFFF)
+    hit = b.ireg()
+    b.call("find", args=[qid], ret=hit)
+    ph = b.preg()
+    b.cmpi_lt(ph, hit, 0)
+    b.br_if(ph, "miss")
+    qvsel = b.ireg()
+    b.modi(qvsel, q, variants)
+    contrib = b.ireg()
+    b.li(contrib, 0)
+    for v in range(variants):
+        pv = b.preg()
+        b.cmpi_eq(pv, qvsel, v)
+        b.br_if(pv, f"agg_disp_{v}")
+    b.jump("agg_done")
+    for v in range(variants):
+        b.label(f"agg_disp_{v}")
+        b.call(f"agg_v{v}", args=[hit], ret=contrib)
+        b.jump("agg_done")
+    b.label("agg_done")
+    b.add(acc, acc, contrib)
+    qm = b.ireg()
+    b.andi(qm, q, 3)
+    pq = b.preg()
+    b.cmpi_ne(pq, qm, 0)
+    b.br_if(pq, "after")
+    h2 = b.ireg()
+    b.load_index(h2, val2b, hit)
+    h2u = b.ireg()
+    b.addi(h2u, h2, 1)
+    b.store_index(val2b, hit, h2u)
+    b.jump("after")
+    b.label("miss")
+    m = b.ireg()
+    b.andi(m, qid, 7)
+    b.add(acc, acc, m)
+    b.label("after")
+    # Fold the accumulator every BATCH queries.
+    qb = b.ireg()
+    b.andi(qb, q, BATCH - 1)
+    pb = b.preg()
+    b.cmpi_ne(pb, qb, BATCH - 1)
+    b.br_if(pb, "next_q")
+    emit_checksum_step(b, ck, acc)
+    b.label("next_q")
+    b.addi(q, q, 1)
+    pq2 = b.preg()
+    b.cmp_lt(pq2, q, nq_c)
+    b.br_if(pq2, "query")
+    emit_checksum_step(b, ck, acc)
+
+    out = b.ireg()
+    b.la(out, "result")
+    b.store(out, ck)
+    b.halt()
+    b.done()
+    return mb.build()
+
+
+def reference_checksum(
+    scale: int = DEFAULT_SCALE, variants: int = DEFAULT_VARIANTS
+) -> int:
+    """Pure-Python oracle for :func:`build`."""
+    n = _num_records(scale)
+    nq = QUERIES_PER_RECORD * n
+    rng = RngModel(_seed(scale))
+    rid: list[int] = []
+    val1: list[int] = []
+    val2: list[int] = []
+    index: list[int] = []
+    for rno in range(n):
+        ident = rng.bits(0xFFFF)
+        rid.append(ident)
+        val1.append(ident & 1023)
+        val2.append(ident >> 6)
+        pos = len(index)
+        index.append(0)
+        while pos > 0 and rid[index[pos - 1]] > ident:
+            index[pos] = index[pos - 1]
+            pos -= 1
+        index[pos] = rno
+
+    def find(ident: int) -> int:
+        lo, hi = 0, len(index) - 1
+        while lo <= hi:
+            mid = (lo + hi) >> 1
+            rec = index[mid]
+            v = rid[rec]
+            if v == ident:
+                return rec
+            if v < ident:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return -1
+
+    ck = 0
+    acc = 0
+    for q in range(nq):
+        qid = rng.bits(0xFFFF)
+        hit = find(qid)
+        if hit >= 0:
+            acc = wrap32(acc + _agg(q % variants, val1[hit], val2[hit]))
+            if q & 3 == 0:
+                val2[hit] += 1
+        else:
+            acc = wrap32(acc + (qid & 7))
+        if q & (BATCH - 1) == BATCH - 1:
+            ck = checksum_step(ck, acc)
+    ck = checksum_step(ck, acc)
+    return ck

@@ -1,0 +1,32 @@
+"""Tailored ISA generation (paper Section 2.3).
+
+"The idea behind Tailored encoding is to give the op as much space as it
+needs but not to compress it otherwise."  The compiler analyzes the
+program's actual field usage — opcodes present, registers live, immediate
+ranges — and synthesizes a new, *uncompressed but compact* encoding:
+
+* the ``T`` bit, a format selector and the opcode field sit at fixed
+  positions and widths in every tailored op ("if every instruction has
+  its Tail bit, OpType and OpCode fields in a fixed position ... it
+  significantly simplifies decoding (no search needed)"),
+* every other field is narrowed to the bits its observed value range
+  needs, per format,
+* the decoder is emitted as synthesizable-style Verilog
+  (:mod:`repro.tailored.verilog`), standing in for the PLA programming
+  the paper's tool suite produced.
+
+The result plugs into the same :class:`~repro.compression.schemes`
+interface as the Huffman compressors, so studies treat it uniformly.
+"""
+
+from repro.tailored.analysis import FieldUsage, TailoredSpec, analyze_image
+from repro.tailored.encoding import TailoredScheme
+from repro.tailored.verilog import decoder_verilog
+
+__all__ = [
+    "FieldUsage",
+    "TailoredScheme",
+    "TailoredSpec",
+    "analyze_image",
+    "decoder_verilog",
+]

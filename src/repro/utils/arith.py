@@ -1,0 +1,33 @@
+"""Shared 32-bit integer semantics.
+
+The compiler's constant folder and the emulator must agree exactly on
+arithmetic; both import from here.  Integers are 32-bit two's-complement
+wrapping; shifts mask their amount to 5 bits; division truncates toward
+zero (C semantics).
+"""
+
+from __future__ import annotations
+
+
+def wrap32(value: int) -> int:
+    """Reduce to signed 32-bit two's complement."""
+    return ((value + (1 << 31)) & 0xFFFFFFFF) - (1 << 31)
+
+
+def unsigned32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+def shift_amount(value: int) -> int:
+    return value & 31
+
+
+def div_trunc(a: int, b: int) -> int:
+    """C-style integer division (truncate toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def mod_trunc(a: int, b: int) -> int:
+    """C-style remainder: ``a - div_trunc(a, b) * b``."""
+    return a - div_trunc(a, b) * b

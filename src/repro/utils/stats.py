@@ -1,0 +1,60 @@
+"""Small statistics helpers used by the experiment layer and benches."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median (average of middle two for even-length inputs)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; all values must be positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio; 0/0 is defined as 0 for reporting convenience."""
+    if denominator == 0:
+        if numerator == 0:
+            return 0.0
+        raise ZeroDivisionError("nonzero numerator over zero denominator")
+    return numerator / denominator
+
+
+def percent(part: float, whole: float) -> float:
+    """``part`` as a percentage of ``whole``."""
+    return 100.0 * ratio(part, whole)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    total_weight = sum(weights)
+    if total_weight == 0:
+        raise ValueError("weights sum to zero")
+    return sum(v * w for v, w in zip(values, weights)) / total_weight

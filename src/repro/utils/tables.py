@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+Every bench regenerating one of the paper's figures prints its rows through
+:func:`format_table` so the outputs are uniform and easy to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value: object, fmt: str | None) -> str:
+    if value is None:
+        return "-"
+    if fmt is not None and isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ):
+        return format(value, fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} "
+                "columns"
+            )
+        rendered_rows.append(
+            [
+                _cell(v, float_fmt if isinstance(v, float) else None)
+                for v in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in rendered_rows)
+    return "\n".join(out)

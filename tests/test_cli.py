@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("fig5", "fig7", "fig10", "fig13", "fig14"):
+        assert exp_id in out
+
+
+def test_run_fig5_single_benchmark(capsys):
+    assert main(
+        ["run", "fig5", "--benchmarks", "vortex", "--scale", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "vortex" in out
+    assert "tailored%" in out
+
+
+def test_run_fig10(capsys):
+    assert main(
+        ["run", "fig10", "--benchmarks", "gcc", "--scale", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "byte" in out and "full" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,159 @@
+"""Tests for the future-work extensions: dictionary scheme, gshare."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.dictionary import (
+    DictionaryImage,
+    DictionaryScheme,
+    MAX_SEQ,
+    MIN_SEQ,
+)
+from repro.compression.schemes import BaselineScheme
+from repro.errors import CompressionError, ConfigurationError
+from repro.fetch.branch_predict import (
+    BlockMeta,
+    BlockPredictor,
+    GshareUnit,
+    KIND_COND_BRANCH,
+    KIND_FALLTHROUGH,
+    KIND_HALT,
+    KIND_JUMP,
+    KIND_RET,
+)
+from repro.fetch.config import FetchConfig
+from repro.fetch.engine import simulate_fetch
+
+
+@pytest.fixture(scope="module")
+def image(tiny_program):
+    return tiny_program[0].image
+
+
+class TestDictionaryScheme:
+    def test_roundtrip(self, image):
+        compressed = DictionaryScheme().compress(image)
+        compressed.verify()
+
+    def test_compresses_repetitive_code(self, compress_study):
+        compressed = compress_study.compressed("dict")
+        assert compressed.ratio_percent() < 100.0
+        assert len(compressed.dictionary) > 0
+
+    def test_dictionary_sequences_within_bounds(self, compress_study):
+        compressed = compress_study.compressed("dict")
+        for seq in compressed.dictionary:
+            assert MIN_SEQ <= len(seq) <= MAX_SEQ
+
+    def test_table_bytes_accounts_storage(self, compress_study):
+        compressed = compress_study.compressed("dict")
+        bits = sum(len(s) * 40 + 2 for s in compressed.dictionary)
+        assert compressed.table_bytes == (bits + 7) // 8
+
+    def test_decode_requires_dictionary_image(self, image):
+        base = BaselineScheme().compress(image)
+        with pytest.raises(CompressionError):
+            DictionaryScheme().decode_block(base, 0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CompressionError):
+            DictionaryScheme(max_entries=0)
+
+    def test_small_dictionary_still_roundtrips(self, image):
+        compressed = DictionaryScheme(max_entries=2).compress(image)
+        compressed.verify()
+        assert isinstance(compressed, DictionaryImage)
+
+    def test_weaker_than_full_huffman(self, compress_study):
+        """The documented trade-off: cheap decode, weaker compression."""
+        dict_pct = compress_study.compressed("dict").ratio_percent()
+        full_pct = compress_study.compressed("full").ratio_percent()
+        assert full_pct < dict_pct
+
+
+def _meta(kind, block_id=0, target=None, fallthrough=None):
+    return BlockMeta(
+        block_id=block_id, kind=kind, target=target,
+        fallthrough=fallthrough, mop_count=1, op_count=1,
+    )
+
+
+class TestGshare:
+    def test_static_kinds_delegate(self):
+        unit = GshareUnit()
+        entry = BlockPredictor()
+        assert unit.predict(
+            _meta(KIND_FALLTHROUGH, fallthrough=3), entry
+        ) == 3
+        assert unit.predict(_meta(KIND_JUMP, target=9), entry) == 9
+        assert unit.predict(_meta(KIND_HALT), entry) is None
+
+    def test_ret_uses_entry_last_target(self):
+        unit = GshareUnit()
+        entry = BlockPredictor()
+        meta = _meta(KIND_RET)
+        assert unit.predict(meta, entry) is None
+        unit.update(meta, entry, 33)
+        assert unit.predict(meta, entry) == 33
+
+    def test_learns_alternating_pattern(self):
+        """A strictly alternating branch defeats a 2-bit counter but is
+        captured by one bit of global history."""
+        unit = GshareUnit(history_bits=4)
+        entry = BlockPredictor()
+        meta = _meta(KIND_COND_BRANCH, block_id=5, target=1,
+                     fallthrough=2)
+        outcomes = [1, 2] * 40  # taken, not-taken, taken, ...
+        correct_tail = 0
+        for i, actual in enumerate(outcomes):
+            prediction = unit.predict(meta, entry)
+            if i >= 60 and prediction == actual:
+                correct_tail += 1
+            unit.update(meta, entry, actual)
+        assert correct_tail >= 18  # near-perfect once history warms up
+
+    def test_history_bounded(self):
+        unit = GshareUnit(history_bits=3)
+        meta = _meta(KIND_COND_BRANCH, target=1, fallthrough=2)
+        entry = BlockPredictor()
+        for _ in range(50):
+            unit.update(meta, entry, 1)
+        assert 0 <= unit.history < 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            GshareUnit(history_bits=0)
+
+    def test_engine_accepts_gshare(self, compress_study):
+        metrics = simulate_fetch(
+            compress_study.compressed("base"),
+            compress_study.run.block_trace,
+            FetchConfig.for_scheme("base", scaled=True,
+                                   predictor="gshare"),
+        )
+        assert metrics.pred_correct + metrics.pred_incorrect == \
+            metrics.blocks_fetched
+
+    def test_engine_rejects_unknown_predictor(self, compress_study):
+        with pytest.raises(ConfigurationError):
+            simulate_fetch(
+                compress_study.compressed("base"),
+                compress_study.run.block_trace,
+                FetchConfig.for_scheme("base", scaled=True,
+                                       predictor="oracle"),
+            )
+
+
+@given(
+    history_bits=st.integers(1, 12),
+    outcomes=st.lists(st.booleans(), max_size=60),
+)
+def test_gshare_counters_stay_in_range(history_bits, outcomes):
+    unit = GshareUnit(history_bits=history_bits)
+    entry = BlockPredictor()
+    meta = _meta(KIND_COND_BRANCH, block_id=7, target=1, fallthrough=2)
+    for taken in outcomes:
+        unit.predict(meta, entry)
+        unit.update(meta, entry, 1 if taken else 2)
+    assert all(0 <= c <= 3 for c in unit.counters)
+    assert 0 <= unit.history < (1 << history_bits)

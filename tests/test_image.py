@@ -1,0 +1,158 @@
+"""Tests for program-image structure and invariants."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import MultiOp, Opcode, Operation
+from repro.isa.image import BasicBlockImage, OP_BYTES, ProgramImage
+from repro.isa.registers import gpr, pred
+
+
+def _block(block_id, ops, fallthrough=None, label=None):
+    return BasicBlockImage(
+        block_id=block_id,
+        label=label or f"b{block_id}",
+        mops=(MultiOp.of(ops),),
+        fallthrough=fallthrough,
+    )
+
+
+def _alu(d=1):
+    return Operation(Opcode.ADD, dest=gpr(d), src1=gpr(2), src2=gpr(3))
+
+
+class TestBasicBlockImage:
+    def test_counts_and_sizes(self):
+        block = _block(0, [_alu(), Operation(Opcode.HALT)])
+        assert block.op_count == 2
+        assert block.mop_count == 1
+        assert block.baseline_bytes == 2 * OP_BYTES
+        assert len(block.encode_baseline()) == block.baseline_bytes
+
+    def test_terminator_found_in_last_mop(self):
+        block = _block(0, [_alu(), Operation(Opcode.HALT)])
+        assert block.terminator is not None
+        assert block.terminator.opcode is Opcode.HALT
+
+    def test_no_terminator(self):
+        block = _block(0, [_alu()], fallthrough=1)
+        assert block.terminator is None
+
+    def test_branch_targets_collected(self):
+        br = Operation(Opcode.BR, target_block=3, predicate=pred(1))
+        block = _block(0, [br], fallthrough=1)
+        assert block.branch_targets == (3,)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(EncodingError):
+            BasicBlockImage(block_id=0, label="x", mops=())
+
+    def test_block_id_range_checked(self):
+        with pytest.raises(EncodingError):
+            _block(1 << 16, [Operation(Opcode.HALT)])
+
+
+class TestProgramImage:
+    def _image(self):
+        blocks = [
+            _block(0, [_alu()], fallthrough=1),
+            _block(
+                1,
+                [Operation(Opcode.BR, target_block=0, predicate=pred(1))],
+                fallthrough=2,
+            ),
+            _block(2, [Operation(Opcode.HALT)]),
+        ]
+        return ProgramImage("p", blocks)
+
+    def test_block_ids_must_match_layout(self):
+        with pytest.raises(EncodingError):
+            ProgramImage("p", [_block(1, [Operation(Opcode.HALT)])])
+
+    def test_dangling_branch_target_rejected(self):
+        blocks = [
+            _block(
+                0,
+                [Operation(Opcode.BR, target_block=9, predicate=pred(1))],
+                fallthrough=1,
+            ),
+            _block(1, [Operation(Opcode.HALT)]),
+        ]
+        with pytest.raises(EncodingError):
+            ProgramImage("p", blocks)
+
+    def test_dangling_fallthrough_rejected(self):
+        with pytest.raises(EncodingError):
+            ProgramImage(
+                "p", [_block(0, [_alu()], fallthrough=7)]
+            )
+
+    def test_addresses_are_cumulative(self):
+        image = self._image()
+        addresses = image.baseline_addresses()
+        assert addresses[0] == 0
+        assert addresses[1] == image.block(0).baseline_bytes
+        assert image.baseline_code_bytes == sum(
+            b.baseline_bytes for b in image
+        )
+
+    def test_lookup_by_label(self):
+        image = self._image()
+        assert image.block_by_label("b1").block_id == 1
+
+    def test_encode_baseline_concatenates(self):
+        image = self._image()
+        assert image.encode_baseline() == b"".join(
+            b.encode_baseline() for b in image
+        )
+
+    def test_all_operations_order(self):
+        image = self._image()
+        ops = list(image.all_operations())
+        assert len(ops) == image.total_ops
+        assert ops[-1].opcode is Opcode.HALT
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(EncodingError):
+            ProgramImage("p", [])
+
+    def test_entry_block_checked(self):
+        with pytest.raises(EncodingError):
+            ProgramImage(
+                "p", [_block(0, [Operation(Opcode.HALT)])], entry_block=5
+            )
+
+
+class TestCompiledImageInvariants:
+    """Invariants every compiler-produced image satisfies."""
+
+    def test_tail_bits_mark_mop_ends(self, tiny_program):
+        image = tiny_program[0].image
+        for block in image:
+            for mop in block.mops:
+                *body, last = mop.ops
+                assert last.tail
+                assert not any(op.tail for op in body)
+
+    def test_every_block_reachable_target_valid(self, tiny_program):
+        image = tiny_program[0].image
+        n = len(image)
+        for block in image:
+            for target in block.branch_targets:
+                assert 0 <= target < n
+            if block.fallthrough is not None:
+                assert 0 <= block.fallthrough < n
+
+    def test_exactly_one_halt(self, tiny_program):
+        image = tiny_program[0].image
+        halts = [
+            op for op in image.all_operations()
+            if op.opcode is Opcode.HALT
+        ]
+        assert len(halts) == 1
+
+    def test_terminators_never_mid_block(self, tiny_program):
+        image = tiny_program[0].image
+        for block in image:
+            for mop in block.mops[:-1]:
+                assert not mop.has_control_transfer

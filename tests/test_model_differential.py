@@ -1,0 +1,141 @@
+"""Hypothesis differential tests: hardware models vs. naive references.
+
+The banked cache, ATB and L0 buffer are each compared against a
+straightforward reference implementation over random access sequences —
+the models must agree event for event.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.fetch.atb import ATB
+from repro.fetch.banked_cache import BankedCache
+from repro.fetch.config import CacheGeometry
+from repro.fetch.l0buffer import L0Buffer
+from repro.isa.disasm import (
+    disassemble_bytes,
+    disassemble_image,
+    round_trip_check,
+)
+
+
+class _ReferenceSetAssocCache:
+    """Dict-of-lists LRU cache with the banked index function."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.sets: dict[int, list[int]] = {}
+
+    def _bucket_key(self, line: int) -> int:
+        bank = line & 1
+        index = (line >> 1) % (self.geometry.num_sets // 2)
+        return (index << 1) | bank
+
+    def access_block(self, start: int, size: int):
+        lines = list(self.geometry.lines_of(start, size))
+        missing = 0
+        for line in lines:
+            bucket = self.sets.setdefault(self._bucket_key(line), [])
+            if line not in bucket:
+                missing += 1
+        for line in lines:
+            bucket = self.sets.setdefault(self._bucket_key(line), [])
+            if line in bucket:
+                bucket.remove(line)
+            elif len(bucket) >= self.geometry.ways:
+                bucket.pop(0)
+            bucket.append(line)
+        return missing == 0, len(lines), missing
+
+
+block_accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4000),  # start byte
+        st.integers(min_value=1, max_value=200),  # size bytes
+    ),
+    max_size=80,
+)
+
+
+@given(block_accesses)
+def test_banked_cache_matches_reference(accesses):
+    geometry = CacheGeometry("t", 512, 2, 32)
+    cache = BankedCache(geometry)
+    reference = _ReferenceSetAssocCache(geometry)
+    for start, size in accesses:
+        assert cache.access_block(start, size) == \
+            reference.access_block(start, size)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=120))
+def test_atb_matches_reference_lru(block_ids):
+    atb = ATB(entries=16, ways=4)
+    sets: dict[int, list[int]] = {}
+    for block_id in block_ids:
+        key = block_id & (atb.num_sets - 1)
+        bucket = sets.setdefault(key, [])
+        expected_hit = block_id in bucket
+        _, hit = atb.access(block_id)
+        assert hit == expected_hit
+        if block_id in bucket:
+            bucket.remove(block_id)
+        elif len(bucket) >= 4:
+            bucket.pop(0)
+        bucket.append(block_id)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),  # block id
+            st.integers(min_value=1, max_value=40),  # op count
+        ),
+        max_size=100,
+    )
+)
+def test_l0_buffer_matches_reference(accesses):
+    l0 = L0Buffer(capacity_ops=32)
+    resident: dict[int, int] = {}
+    for block_id, ops in accesses:
+        expected_hit = block_id in resident
+        hit = l0.access(block_id, ops)
+        assert hit == expected_hit
+        if expected_hit:
+            size = resident.pop(block_id)
+            resident[block_id] = size  # refresh LRU position
+            continue
+        if ops > 32:
+            continue
+        resident.pop(block_id, None)
+        while sum(resident.values()) + ops > 32:
+            oldest = next(iter(resident))
+            resident.pop(oldest)
+        resident[block_id] = ops
+    assert l0.resident_ops == sum(resident.values())
+
+
+class TestDisassembler:
+    def test_round_trip(self, tiny_program):
+        image = tiny_program[0].image
+        assert round_trip_check(image)
+
+    def test_listing_structure(self, tiny_program):
+        image = tiny_program[0].image
+        text = disassemble_image(image)
+        assert f"; program {image.name!r}" in text
+        for block in image:
+            assert f"<{block.label}>" in text
+        assert text.count("{") == image.total_mops
+        assert text.count("}") == image.total_mops
+
+    def test_partial_stream_rejected(self):
+        import pytest
+
+        from repro.errors import DecodingError
+
+        with pytest.raises(DecodingError):
+            disassemble_bytes(b"\x00\x01\x02")
+
+    def test_bytes_round_trip_ops(self, tiny_program):
+        image = tiny_program[0].image
+        ops = disassemble_bytes(image.encode_baseline())
+        assert len(ops) == image.total_ops

@@ -1,0 +1,98 @@
+"""Tests for fallthrough-chain merging (complex fetch units)."""
+
+import pytest
+
+from repro.compression.schemes import BaselineScheme, FullOpHuffmanScheme
+from repro.emulator import run_image
+from repro.fetch.superblock import (
+    form_chains,
+    merge_fallthrough_chains,
+    transform_trace,
+)
+from repro.tailored.encoding import TailoredScheme
+
+
+@pytest.fixture(scope="module")
+def merged(compress_study):
+    image = compress_study.compiled.image
+    return image, *merge_fallthrough_chains(image)
+
+
+class TestChains:
+    def test_chains_partition_blocks(self, compress_study):
+        image = compress_study.compiled.image
+        chains = form_chains(image)
+        members = [b for chain in chains for b in chain]
+        assert sorted(members) == list(range(len(image)))
+
+    def test_chain_members_are_fallthrough_linked(self, compress_study):
+        image = compress_study.compiled.image
+        for chain in form_chains(image):
+            for a, b in zip(chain, chain[1:]):
+                block = image.block(a)
+                assert block.terminator is None
+                assert block.fallthrough == b
+
+    def test_merging_reduces_or_keeps_block_count(self, merged):
+        image, merged_image, _ = merged
+        assert len(merged_image) <= len(image)
+
+    def test_ops_preserved(self, merged):
+        image, merged_image, _ = merged
+        assert merged_image.total_ops == image.total_ops
+        assert merged_image.total_mops == image.total_mops
+
+    def test_targets_remapped_validly(self, merged):
+        _, merged_image, _ = merged
+        n = len(merged_image)
+        for block in merged_image:
+            for target in block.branch_targets:
+                assert 0 <= target < n
+
+    def test_merged_image_executes_identically(self, merged):
+        image, merged_image, _ = merged
+        module = None
+        # Re-run the merged image directly: same program semantics.
+        from repro.core.study import study_for
+
+        study = study_for("compress", 3)
+        module = study.compiled.module
+        result = run_image(merged_image, module.globals)
+        address = module.globals["result"].address
+        baseline = study.run.machine.load_word(address)
+        assert result.machine.load_word(address) == baseline
+
+    def test_merged_image_compresses_and_roundtrips(self, merged):
+        _, merged_image, _ = merged
+        for scheme in (BaselineScheme(), FullOpHuffmanScheme(),
+                       TailoredScheme()):
+            scheme.compress(merged_image).verify()
+
+
+class TestTraceTransform:
+    def test_trace_folds_onto_units(self, compress_study, merged):
+        image, merged_image, unit_of_block = merged
+        trace = compress_study.run.block_trace
+        unit_trace = transform_trace(trace, image, unit_of_block)
+        # Unit trace is no longer than the block trace and visits only
+        # valid unit ids.
+        assert len(unit_trace) <= len(trace)
+        assert all(0 <= u < len(merged_image) for u in unit_trace)
+        # Ops delivered are identical either way.
+        block_ops = sum(image.block(b).op_count for b in trace)
+        unit_ops = sum(
+            merged_image.block(u).op_count for u in unit_trace
+        )
+        assert unit_ops == block_ops
+
+    def test_unit_trace_consistent_with_emulation(self, merged):
+        """Re-emulating the merged image yields the folded trace."""
+        image, merged_image, unit_of_block = merged
+        from repro.core.study import study_for
+
+        study = study_for("compress", 3)
+        trace = study.run.block_trace
+        folded = transform_trace(trace, image, unit_of_block)
+        module = study.compiled.module
+        rerun = run_image(merged_image, module.globals)
+        assert list(rerun.block_trace) == folded

@@ -1,0 +1,124 @@
+"""Tests for statistics helpers, table rendering, and 32-bit semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.arith import (
+    div_trunc,
+    mod_trunc,
+    shift_amount,
+    unsigned32,
+    wrap32,
+)
+from repro.utils.stats import (
+    geometric_mean,
+    mean,
+    median,
+    percent,
+    ratio,
+    weighted_mean,
+)
+from repro.utils.tables import format_table
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_median_even(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_ratio_and_percent(self):
+        assert ratio(1, 4) == 0.25
+        assert percent(1, 4) == 25.0
+        assert ratio(0, 0) == 0.0
+        with pytest.raises(ZeroDivisionError):
+            ratio(1, 0)
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1, 3], [1, 3]) == 2.5
+        with pytest.raises(ValueError):
+            weighted_mean([1], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_mean([1, 2], [0, 0])
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500" in text
+        assert "-" in lines[-1]
+
+    def test_title(self):
+        text = format_table(["c"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestArith:
+    def test_wrap32_identity_in_range(self):
+        assert wrap32(123) == 123
+        assert wrap32(-123) == -123
+
+    def test_wrap32_overflow(self):
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+        assert wrap32(2**32) == 0
+
+    def test_unsigned32(self):
+        assert unsigned32(-1) == 0xFFFFFFFF
+
+    def test_shift_amount_masks(self):
+        assert shift_amount(33) == 1
+        assert shift_amount(-1) == 31
+
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)],
+    )
+    def test_div_mod_trunc_toward_zero(self, a, b, q, r):
+        assert div_trunc(a, b) == q
+        assert mod_trunc(a, b) == r
+
+
+@given(st.integers())
+def test_wrap32_range_property(x):
+    y = wrap32(x)
+    assert -(2**31) <= y < 2**31
+    assert (y - x) % (2**32) == 0
+
+
+@given(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1).filter(bool),
+)
+def test_div_mod_invariant_property(a, b):
+    """a == div_trunc(a,b)*b + mod_trunc(a,b), |r| < |b|, sign(r)=sign(a)."""
+    q = div_trunc(a, b)
+    r = mod_trunc(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    assert r == 0 or (r > 0) == (a > 0)
