@@ -15,6 +15,21 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_study_caches():
+    """Reset in-process study/runtime state between bench modules.
+
+    Keeps the in-memory footprint of a full bench run bounded; with the
+    persistent artifact store enabled (the default), evicted artifacts
+    reload from disk instead of recomputing, so this stays cheap.
+    """
+    from repro.core.study import clear_caches
+
+    clear_caches()
+    yield
+    clear_caches()
+
+
 @pytest.fixture(scope="session")
 def report():
     """``report(name, text)`` — print a table and persist it."""

@@ -5,18 +5,45 @@ Examples::
     python -m repro list
     python -m repro run fig5
     python -m repro run fig13 --benchmarks compress go --scale 4
+    python -m repro run fig13 --jobs 8          # parallel prewarm
+    python -m repro run fig5 --json             # machine-readable rows
     python -m repro suite
+    python -m repro cache stats
+    python -m repro cache clear
+
+``run`` and ``suite`` go through the :mod:`repro.runtime` artifact
+cache: a warm invocation recomputes nothing, and ``--jobs N`` fans the
+cold artifact chain out across processes before the rows are rendered.
+``--no-cache`` (or ``REPRO_CACHE=0``) restores the direct path.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import runtime
 from repro.core.experiments import EXPERIMENTS
 from repro.core.study import study_for
 from repro.programs.suite import BENCHMARK_NAMES, SUITE
 from repro.utils.tables import format_table
+
+
+def _apply_runtime_flags(args) -> None:
+    if getattr(args, "no_cache", False):
+        runtime.configure(enabled=False)
+
+
+def _jobs(args) -> int:
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = runtime.runtime_config().jobs
+    return max(1, jobs)
+
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _cmd_list(_args) -> int:
@@ -35,19 +62,54 @@ def _cmd_run(args) -> int:
         print(f"unknown experiment {args.experiment!r}; "
               f"try: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    _apply_runtime_flags(args)
+    benchmarks = tuple(args.benchmarks or BENCHMARK_NAMES)
+    jobs = _jobs(args)
+    if jobs > 1 and runtime.runtime_config().enabled:
+        from repro.runtime.scheduler import prewarm
+
+        prewarm(
+            benchmarks,
+            scale=args.scale,
+            schemes=experiment.schemes,
+            fetch_schemes=experiment.fetch_schemes,
+            jobs=jobs,
+        )
     headers, rows = experiment.runner(
         args.benchmarks or None, args.scale
     )
+    if args.json:
+        _emit_json(
+            {
+                "experiment": experiment.exp_id,
+                "title": experiment.title,
+                "headers": list(headers),
+                "rows": [list(r) for r in rows],
+                "runtime": runtime.REPORT.to_json(),
+            }
+        )
+        return 0
     print(format_table(headers, rows, title=experiment.title))
+    print()
+    print(runtime.REPORT.render())
     return 0
 
 
 def _cmd_suite(args) -> int:
+    _apply_runtime_flags(args)
+    jobs = _jobs(args)
+    if jobs > 1 and runtime.runtime_config().enabled:
+        from repro.runtime.scheduler import prewarm
+
+        prewarm(BENCHMARK_NAMES, scale=args.scale, jobs=jobs)
     rows = []
+    failures = []
     for name in BENCHMARK_NAMES:
         study = study_for(name, args.scale)
         image = study.compiled.image
         ok = study.verify_checksum()
+        if not ok:
+            failures.append(name)
         rows.append(
             [
                 name,
@@ -57,15 +119,61 @@ def _cmd_suite(args) -> int:
                 "ok" if ok else "MISMATCH",
             ]
         )
-    print(
-        format_table(
-            ["benchmark", "description", "static ops", "dynamic mops",
-             "oracle"],
-            rows,
-            title="Benchmark suite",
+    if args.json:
+        _emit_json(
+            {
+                "benchmarks": [
+                    {
+                        "name": r[0],
+                        "description": r[1],
+                        "static_ops": r[2],
+                        "dynamic_mops": r[3],
+                        "oracle": r[4],
+                    }
+                    for r in rows
+                ],
+                "failures": failures,
+                "runtime": runtime.REPORT.to_json(),
+            }
         )
-    )
-    return 0 if all(r[-1] == "ok" for r in rows) else 1
+    else:
+        print(
+            format_table(
+                ["benchmark", "description", "static ops", "dynamic mops",
+                 "oracle"],
+                rows,
+                title="Benchmark suite",
+            )
+        )
+        print()
+        print(runtime.REPORT.render())
+    if failures:
+        print(
+            "checksum MISMATCH against the pure-Python oracle: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    store = runtime.default_store()
+    if args.cache_command == "clear":
+        dropped = store.clear()
+        print(f"dropped {dropped} cached artifact(s) from {store.root}")
+        return 0
+    stats = store.stats()
+    config = runtime.runtime_config()
+    rows = [
+        ["root", stats.root],
+        ["enabled", "yes" if config.enabled else "no (REPRO_CACHE=0)"],
+        ["entries", stats.entries],
+        ["total", f"{stats.total_bytes / (1024 * 1024):.2f} MiB"],
+        ["cap", f"{stats.max_bytes / (1024 * 1024):.2f} MiB"],
+    ]
+    print(format_table(["field", "value"], rows, title="Artifact cache"))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,18 +183,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiments")
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="fig5|fig7|fig10|fig13|fig14")
     run.add_argument("--benchmarks", nargs="*", default=None)
     run.add_argument("--scale", type=int, default=None)
+    run.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan the artifact chain out across N processes "
+             "(default: REPRO_JOBS or 1)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit rows and the runtime report as JSON",
+    )
+
     suite = sub.add_parser("suite", help="compile, run and verify the "
                                           "whole benchmark suite")
     suite.add_argument("--scale", type=int, default=None)
+    suite.add_argument(
+        "--jobs", type=int, default=None,
+        help="compile/trace benchmarks across N processes",
+    )
+    suite.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    suite.add_argument(
+        "--json", action="store_true",
+        help="emit per-benchmark results and the runtime report as JSON",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the artifact "
+                                          "cache")
+    cache.add_argument(
+        "cache_command", choices=("stats", "clear"),
+        help="stats: footprint summary; clear: drop every entry",
+    )
+
     args = parser.parse_args(argv)
     return {
         "list": _cmd_list,
         "run": _cmd_run,
         "suite": _cmd_suite,
+        "cache": _cmd_cache,
     }[args.command](args)
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.compression.alphabets import SIX_STREAM_CONFIGS
 from repro.compression.decoder_cost import scheme_decoder_cost
 from repro.core.study import study_for
 from repro.fetch.atb import att_bytes, att_overhead_percent
@@ -198,14 +199,25 @@ def fig14_busflip_rows(
 
 
 # ----------------------------------------------------------- registry
+#: All six stream configurations (the Figure 3 search space).
+_STREAM_KEYS = tuple(cfg.name for cfg in SIX_STREAM_CONFIGS)
+
+
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible artifact of the paper's evaluation."""
+    """One reproducible artifact of the paper's evaluation.
+
+    ``schemes`` and ``fetch_schemes`` declare the artifact chain the
+    runner touches; the runtime scheduler prewarms exactly those nodes
+    when the CLI runs with ``--jobs``.
+    """
 
     exp_id: str
     title: str
     runner: Callable[..., Rows]
     bench: str
+    schemes: tuple = ()
+    fetch_schemes: tuple = ()
 
 
 EXPERIMENTS: dict[str, Experiment] = {
@@ -214,22 +226,29 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment(
             "fig5", "Compression technique comparison (code segment)",
             fig5_compression_rows, "benchmarks/test_fig5_compression.py",
+            schemes=("byte",) + _STREAM_KEYS + ("full", "tailored"),
         ),
         Experiment(
             "fig7", "ATB characteristics / total code size with ATT",
             fig7_att_rows, "benchmarks/test_fig7_att_size.py",
+            schemes=("full",), fetch_schemes=("compressed",),
         ),
         Experiment(
             "fig10", "Huffman decoder complexity",
             fig10_decoder_rows, "benchmarks/test_fig10_decoder_complexity.py",
+            schemes=("byte",) + _STREAM_KEYS + ("full",),
         ),
         Experiment(
             "fig13", "Cache study summary (ops/cycle)",
             fig13_cache_rows, "benchmarks/test_fig13_cache_study.py",
+            schemes=("base", "tailored", "full"),
+            fetch_schemes=("ideal", "base", "compressed", "tailored"),
         ),
         Experiment(
             "fig14", "Memory-bus bit flips",
             fig14_busflip_rows, "benchmarks/test_fig14_bus_flips.py",
+            schemes=("base", "tailored", "full"),
+            fetch_schemes=("base", "compressed", "tailored"),
         ),
     )
 }

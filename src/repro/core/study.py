@@ -6,13 +6,26 @@ compressed images per scheme, and fetch-simulation results — and
 memoizes them.  The module-level :func:`study_for` cache shares studies
 across experiments within one process (all of Figures 5–14 reuse the
 same trace, exactly like the paper's single trace-collection run).
+
+Every stage additionally routes through
+:func:`repro.runtime.get_or_compute`, the persistent content-addressed
+artifact cache: with the cache enabled (the default), a second process —
+or a second ``pytest``/CLI invocation — reloads compiled images, traces,
+compressed images and fetch metrics from disk instead of recomputing
+them, and the scheduler's worker processes hand artifacts back to their
+parent the same way.  ``REPRO_CACHE=0`` (or ``--no-cache``) restores the
+direct path, byte-identical by construction: the cache stores exactly
+what the compute closures return.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import runtime
 from repro.compiler import CompiledProgram
 from repro.compression.alphabets import SIX_STREAM_CONFIGS
 from repro.compression.schemes import (
@@ -66,16 +79,43 @@ class ProgramStudy:
 
     # -------------------------------------------------------- artifacts
     @property
+    def effective_scale(self) -> int:
+        """The scale actually compiled (``None`` → the suite default).
+
+        Cache digests key on this, so ``study_for("go")`` and
+        ``study_for("go", 3)`` share artifacts.
+        """
+        if self.scale is not None:
+            return self.scale
+        return SUITE[self.name].default_scale
+
+    def _stage(self, stage: str, compute, **key):
+        return runtime.get_or_compute(
+            stage,
+            compute,
+            benchmark=self.name,
+            scale=self.effective_scale,
+            **key,
+        )
+
+    @property
     def compiled(self) -> CompiledProgram:
         if self._compiled is None:
-            self._compiled = compile_benchmark(self.name, self.scale)
+            self._compiled = self._stage(
+                "compile",
+                lambda: compile_benchmark(self.name, self.scale),
+            )
         return self._compiled
 
     @property
     def run(self) -> RunResult:
         if self._run is None:
-            module = self.compiled.module
-            self._run = run_image(self.compiled.image, module.globals)
+            self._run = self._stage(
+                "trace",
+                lambda: run_image(
+                    self.compiled.image, self.compiled.module.globals
+                ),
+            )
         return self._run
 
     def verify_checksum(self) -> bool:
@@ -91,8 +131,14 @@ class ProgramStudy:
     def compressed(self, scheme_key: str) -> CompressedImage:
         """The program re-encoded under ``scheme_key`` (cached)."""
         if scheme_key not in self._images:
-            scheme = _scheme_factory(scheme_key)
-            self._images[scheme_key] = scheme.compress(self.compiled.image)
+            _scheme_factory(scheme_key)  # validate the key before caching
+            self._images[scheme_key] = self._stage(
+                "compress",
+                lambda: _scheme_factory(scheme_key).compress(
+                    self.compiled.image
+                ),
+                scheme=scheme_key,
+            )
         return self._images[scheme_key]
 
     def stream_results(self) -> dict[str, CompressedImage]:
@@ -134,39 +180,75 @@ class ProgramStudy:
         under the same cache pressure SPEC put on the paper's 16KB
         caches; pass ``scaled=False`` for the paper's literal geometry.
         """
-        key = (scheme, scaled, id(config) if config is not None else None)
+        config_token = runtime.fetch_config_token(config)
+        key = (scheme, scaled, config_token)
         if key in self._fetch:
             return self._fetch[key]
-        trace = self.run.block_trace
-        if scheme == "ideal":
-            metrics = ideal_metrics(self.compressed("base"), trace)
-        elif scheme in ("base", "tailored", "compressed"):
-            image_key = {"base": "base", "tailored": "tailored",
-                         "compressed": "full"}[scheme]
-            metrics = simulate_fetch(
-                self.compressed(image_key),
-                trace,
-                config or FetchConfig.for_scheme(scheme, scaled=scaled),
-            )
-        else:
+
+        def compute() -> FetchMetrics:
+            trace = self.run.block_trace
+            if scheme == "ideal":
+                return ideal_metrics(self.compressed("base"), trace)
+            if scheme in ("base", "tailored", "compressed"):
+                image_key = {"base": "base", "tailored": "tailored",
+                             "compressed": "full"}[scheme]
+                return simulate_fetch(
+                    self.compressed(image_key),
+                    trace,
+                    config or FetchConfig.for_scheme(scheme, scaled=scaled),
+                )
             raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+
+        if scheme not in ("ideal", "base", "tailored", "compressed"):
+            raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+        metrics = self._stage(
+            "fetch",
+            compute,
+            scheme=scheme,
+            extra={"config": config_token, "scaled": scaled},
+        )
         self._fetch[key] = metrics
         return metrics
 
 
-_studies: dict[tuple[str, Optional[int]], ProgramStudy] = {}
+#: Capacity of the process-level study cache.  Bounded so long sweeps
+#: (cache-size studies, ablations over many scales) cannot grow without
+#: limit; evicted studies reload cheaply from the artifact store.
+STUDY_CACHE_CAPACITY = max(
+    1, int(os.environ.get("REPRO_STUDY_CACHE_CAP", "16"))
+)
+
+_studies: "OrderedDict[tuple[str, Optional[int]], ProgramStudy]" = (
+    OrderedDict()
+)
 
 
 def study_for(name: str, scale: Optional[int] = None) -> ProgramStudy:
-    """Shared, memoized study for a benchmark at a scale."""
+    """Shared, memoized study for a benchmark at a scale (LRU-bounded)."""
     key = (name, scale)
-    if key not in _studies:
+    study = _studies.get(key)
+    if study is None:
         if name not in SUITE:
             raise ConfigurationError(f"unknown benchmark {name!r}")
-        _studies[key] = ProgramStudy(name, scale)
-    return _studies[key]
+        study = ProgramStudy(name, scale)
+        _studies[key] = study
+        while len(_studies) > STUDY_CACHE_CAPACITY:
+            _studies.popitem(last=False)
+    else:
+        _studies.move_to_end(key)
+    return study
 
 
 def clear_caches() -> None:
-    """Drop all memoized studies (tests use this for isolation)."""
+    """Drop all memoized in-process state (tests use this for isolation).
+
+    Clears the study LRU, the suite's compile cache, and the runtime's
+    in-process state (metrics, fingerprints, store handle).  The
+    persistent on-disk artifact store survives — clearing it is an
+    explicit operation (``repro cache clear``).
+    """
+    from repro.programs import suite as _suite
+
     _studies.clear()
+    _suite._compile_cache.clear()
+    runtime.reset_runtime_state()

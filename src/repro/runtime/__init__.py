@@ -1,0 +1,137 @@
+"""The experiment runtime: persistent artifact cache + parallel scheduler.
+
+This package turns the per-process memoization of
+:mod:`repro.core.study` into a first-class execution subsystem:
+
+* :mod:`repro.runtime.store` — a disk-backed, content-addressed cache of
+  study artifacts (compiled images, traces, compressed images, fetch
+  metrics) with atomic writes, corruption-tolerant reads, and an LRU
+  byte cap;
+* :mod:`repro.runtime.fingerprint` — deterministic digests keyed on the
+  benchmark, scale, scheme/config, and a source fingerprint of the whole
+  ``repro`` package, so edits invalidate like a build system;
+* :mod:`repro.runtime.metrics` — per-stage wall-time and hit/miss
+  instrumentation rendered by :class:`RuntimeReport`;
+* :mod:`repro.runtime.tasks` / :mod:`repro.runtime.scheduler` — a typed
+  task graph over the study pipeline (compile → trace → compress →
+  fetch-sim) fanned out across a ``ProcessPoolExecutor``.
+
+:func:`get_or_compute` is the seam :class:`repro.core.study.ProgramStudy`
+calls through: cache disabled (``REPRO_CACHE=0`` / ``--no-cache``) means
+the compute callable runs directly, byte-identical to the historical
+path.  Cached payloads are pickles — the store trusts its own cache
+directory, nothing else.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from repro.runtime.config import (
+    RuntimeConfig,
+    config_from_env,
+    configure,
+    reset_runtime_config,
+    runtime_config,
+    set_runtime_config,
+)
+from repro.runtime.fingerprint import (
+    artifact_digest,
+    fetch_config_token,
+    reset_fingerprint_cache,
+    source_fingerprint,
+)
+from repro.runtime.metrics import (
+    REPORT,
+    RuntimeReport,
+    StageMetrics,
+    reset_metrics,
+)
+from repro.runtime.store import (
+    MISS,
+    ArtifactStore,
+    StoreStats,
+    default_store,
+    reset_default_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "MISS",
+    "REPORT",
+    "RuntimeConfig",
+    "RuntimeReport",
+    "StageMetrics",
+    "StoreStats",
+    "artifact_digest",
+    "config_from_env",
+    "configure",
+    "default_store",
+    "fetch_config_token",
+    "get_or_compute",
+    "reset_default_store",
+    "reset_fingerprint_cache",
+    "reset_metrics",
+    "reset_runtime_config",
+    "reset_runtime_state",
+    "runtime_config",
+    "set_runtime_config",
+    "source_fingerprint",
+]
+
+
+def get_or_compute(
+    stage: str,
+    compute,
+    *,
+    benchmark: str,
+    scale: int,
+    scheme: Optional[str] = None,
+    extra: Optional[dict] = None,
+):
+    """One artifact, through the store when enabled.
+
+    Looks the artifact up by its content address; on a miss (or with the
+    cache disabled) runs ``compute()`` and persists the result.  Either
+    way the stage's wall-time and hit/miss counters land in
+    :data:`REPORT`.
+    """
+    started = perf_counter()
+    if not runtime_config().enabled:
+        value = compute()
+        REPORT.record(stage, hit=False, seconds=perf_counter() - started)
+        return value
+    digest = artifact_digest(
+        stage, benchmark=benchmark, scale=scale, scheme=scheme, extra=extra
+    )
+    store = default_store()
+    value = store.get(digest)
+    if value is not MISS:
+        REPORT.record(
+            stage,
+            hit=True,
+            seconds=perf_counter() - started,
+            bytes_read=store.size_of(digest),
+        )
+        return value
+    value = compute()
+    written = store.put(digest, value)
+    REPORT.record(
+        stage,
+        hit=False,
+        seconds=perf_counter() - started,
+        bytes_written=written,
+    )
+    return value
+
+
+def reset_runtime_state() -> None:
+    """Reset in-process runtime state (metrics, fingerprints, store handle).
+
+    The persistent on-disk store is deliberately left alone — clearing
+    it is an explicit operation (``repro cache clear``).
+    """
+    reset_metrics()
+    reset_fingerprint_cache()
+    reset_default_store()

@@ -1,0 +1,92 @@
+"""Runtime configuration: where the artifact cache lives and how it runs.
+
+The configuration is resolved once from the environment and can be
+overridden programmatically (tests and the CLI's ``--no-cache`` /
+``--jobs`` flags do).  Worker processes receive a pickled snapshot so a
+parent's overrides survive the fan-out.
+
+Environment variables:
+
+``REPRO_CACHE``
+    ``0`` / ``false`` / ``off`` / ``no`` disables the persistent store
+    (the opt-out the paper-regeneration CLI exposes as ``--no-cache``).
+``REPRO_CACHE_DIR``
+    Store root (default ``~/.cache/repro``).
+``REPRO_CACHE_MAX_BYTES``
+    LRU size cap for the store (default 512 MiB).
+``REPRO_JOBS``
+    Default ``--jobs`` for the scheduler (default 1 = in-process).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Optional
+
+_FALSEY = {"0", "false", "off", "no"}
+
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One immutable snapshot of the runtime's knobs."""
+
+    enabled: bool = True
+    cache_dir: pathlib.Path = pathlib.Path.home() / ".cache" / "repro"
+    max_bytes: int = DEFAULT_MAX_BYTES
+    jobs: int = 1
+
+
+def config_from_env(environ=None) -> RuntimeConfig:
+    """Build a :class:`RuntimeConfig` from environment variables."""
+    env = os.environ if environ is None else environ
+    enabled = env.get("REPRO_CACHE", "1").strip().lower() not in _FALSEY
+    cache_dir = pathlib.Path(
+        env.get("REPRO_CACHE_DIR")
+        or pathlib.Path.home() / ".cache" / "repro"
+    )
+    try:
+        max_bytes = int(env.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES))
+    except ValueError:
+        max_bytes = DEFAULT_MAX_BYTES
+    try:
+        jobs = max(1, int(env.get("REPRO_JOBS", "1")))
+    except ValueError:
+        jobs = 1
+    return RuntimeConfig(
+        enabled=enabled, cache_dir=cache_dir, max_bytes=max_bytes, jobs=jobs
+    )
+
+
+_active: Optional[RuntimeConfig] = None
+
+
+def runtime_config() -> RuntimeConfig:
+    """The active configuration (resolved lazily from the environment)."""
+    global _active
+    if _active is None:
+        _active = config_from_env()
+    return _active
+
+
+def set_runtime_config(config: RuntimeConfig) -> RuntimeConfig:
+    """Install ``config`` as the active configuration."""
+    global _active
+    _active = config
+    return config
+
+
+def configure(**overrides) -> RuntimeConfig:
+    """Override fields of the active configuration (returns the new one)."""
+    if "cache_dir" in overrides:
+        overrides["cache_dir"] = pathlib.Path(overrides["cache_dir"])
+    return set_runtime_config(replace(runtime_config(), **overrides))
+
+
+def reset_runtime_config() -> None:
+    """Forget overrides; the next access re-reads the environment."""
+    global _active
+    _active = None

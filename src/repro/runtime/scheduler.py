@@ -1,0 +1,180 @@
+"""Dependency-aware scheduler: fan the task graph out across processes.
+
+``jobs <= 1`` executes the graph inline (topological order, zero
+overhead, warms the parent's in-memory studies too).  ``jobs > 1``
+drives a ``ProcessPoolExecutor``: a task is submitted the moment its
+dependencies finish, so independent (benchmark, scheme) chains overlap
+freely.  Workers communicate *artifacts* through the persistent store —
+only small :class:`TaskResult` records (timings + metric counters) come
+back over the pipe — which is why parallel execution requires the cache
+to be enabled.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.config import (
+    RuntimeConfig,
+    runtime_config,
+    set_runtime_config,
+)
+from repro.runtime.metrics import REPORT, reset_metrics
+from repro.runtime.tasks import (
+    TaskSpec,
+    build_study_graph,
+    execute_task,
+    topological_order,
+)
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task (small and picklable)."""
+
+    task_id: str
+    stage: str
+    seconds: float
+    ok: bool = True
+    error: Optional[str] = None
+    report: dict = field(default_factory=dict)
+
+
+def _worker_init(config: RuntimeConfig) -> None:
+    """Run in each pool worker: inherit the parent's runtime overrides.
+
+    Also drops in-memory study state the worker may have inherited via
+    ``fork`` — a pre-populated study would satisfy stages without ever
+    writing the store, and the store is the only channel back to the
+    parent.
+    """
+    from repro.core.study import clear_caches
+
+    set_runtime_config(config)
+    clear_caches()
+    reset_metrics()
+
+
+def _pool_run(spec: TaskSpec) -> TaskResult:
+    """Worker-side task body: execute, then ship the metric deltas home."""
+    reset_metrics()
+    started = perf_counter()
+    try:
+        execute_task(spec)
+    except Exception:
+        return TaskResult(
+            spec.task_id,
+            spec.stage,
+            perf_counter() - started,
+            ok=False,
+            error=traceback.format_exc(limit=8),
+        )
+    return TaskResult(
+        spec.task_id,
+        spec.stage,
+        perf_counter() - started,
+        report=REPORT.to_json(),
+    )
+
+
+def _inline_run(spec: TaskSpec) -> TaskResult:
+    started = perf_counter()
+    execute_task(spec)  # records directly into the global REPORT
+    return TaskResult(spec.task_id, spec.stage, perf_counter() - started)
+
+
+def execute_graph(
+    graph: Dict[str, TaskSpec],
+    *,
+    jobs: int = 1,
+    config: Optional[RuntimeConfig] = None,
+) -> List[TaskResult]:
+    """Run every task of ``graph``, respecting dependencies.
+
+    Raises :class:`RuntimeError` if any task failed (after draining
+    in-flight work); partial artifacts already persisted stay valid —
+    content addressing makes re-runs pick them up.
+    """
+    if config is None:
+        config = runtime_config()
+    order = topological_order(graph)
+    if jobs <= 1:
+        return [_inline_run(graph[task_id]) for task_id in order]
+    if not config.enabled:
+        raise ConfigurationError(
+            "parallel execution needs the artifact cache: workers hand "
+            "artifacts to the parent through the store (drop --jobs or "
+            "re-enable the cache)"
+        )
+
+    remaining: Dict[str, set] = {
+        task_id: set(graph[task_id].deps) for task_id in graph
+    }
+    dependents: Dict[str, List[str]] = {}
+    for task_id, spec in graph.items():
+        for dep in spec.deps:
+            dependents.setdefault(dep, []).append(task_id)
+
+    results: List[TaskResult] = []
+    failed = False
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_worker_init, initargs=(config,)
+    ) as pool:
+        futures = {}
+
+        def submit_ready() -> None:
+            for task_id in [t for t, deps in remaining.items() if not deps]:
+                del remaining[task_id]
+                futures[pool.submit(_pool_run, graph[task_id])] = task_id
+
+        submit_ready()
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                task_id = futures.pop(future)
+                result = future.result()
+                results.append(result)
+                REPORT.merge_json(result.report)
+                if not result.ok:
+                    failed = True
+                    continue
+                for dependent in dependents.get(task_id, ()):
+                    remaining.get(dependent, set()).discard(task_id)
+            if not failed:
+                submit_ready()
+    if failed:
+        errors = [r for r in results if not r.ok]
+        detail = errors[0].error or ""
+        raise RuntimeError(
+            f"{len(errors)} task(s) failed, first: {errors[0].task_id}\n"
+            f"{detail}"
+        )
+    return results
+
+
+def prewarm(
+    benchmarks: Sequence[str],
+    *,
+    scale: Optional[int] = None,
+    schemes: Sequence[str] = (),
+    fetch_schemes: Sequence[str] = (),
+    jobs: int = 1,
+) -> List[TaskResult]:
+    """Materialize the artifact chain for ``benchmarks`` into the store.
+
+    The CLI calls this before rendering figure rows so a ``--jobs N``
+    run fans the expensive stages out and the row generators read back
+    warm artifacts.
+    """
+    graph = build_study_graph(
+        benchmarks,
+        scale=scale,
+        schemes=schemes,
+        fetch_schemes=fetch_schemes,
+    )
+    return execute_graph(graph, jobs=jobs)

@@ -1,0 +1,209 @@
+"""Disk-backed, content-addressed artifact store.
+
+Entries live under ``<root>/objects/<aa>/<digest>.pkl`` where ``aa`` is
+the first digest byte (keeps directories small).  Each file is a
+versioned pickle *envelope* — ``{magic, version, digest, payload}`` — so
+a reader can reject foreign files, stale formats, and entries filed
+under the wrong name.  Guarantees:
+
+* **atomic writes** — payloads are staged to a temp file in the same
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written entry even with concurrent writers;
+* **corruption tolerance** — any failure to read/unpickle/validate an
+  entry is a cache *miss* (the bad file is unlinked best-effort), never
+  an exception: a truncated cache must only ever cost a recompute;
+* **LRU size cap** — entry mtimes are refreshed on hit, and writes evict
+  least-recently-used entries until the store fits ``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.runtime.config import runtime_config
+
+ENVELOPE_MAGIC = "repro-artifact"
+ENVELOPE_VERSION = 1
+
+#: Distinguishes "cached None" from "not cached".
+MISS = object()
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of a store's footprint."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    max_bytes: int
+
+
+class ArtifactStore:
+    """Content-addressed pickle cache with an LRU byte cap."""
+
+    def __init__(
+        self,
+        root: pathlib.Path,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
+        self._objects = self.root / "objects"
+
+    # ------------------------------------------------------------ paths
+    def path_for(self, digest: str) -> pathlib.Path:
+        return self._objects / digest[:2] / f"{digest}.pkl"
+
+    def _iter_entries(self):
+        if not self._objects.is_dir():
+            return
+        for shard in self._objects.iterdir():
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.pkl"):
+                yield path
+
+    # -------------------------------------------------------- get / put
+    def get(self, digest: str):
+        """The payload for ``digest``, or :data:`MISS`.
+
+        Never raises on a bad entry: unreadable, truncated, or
+        mismatched files are dropped and reported as misses.
+        """
+        path = self.path_for(digest)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("magic") != ENVELOPE_MAGIC
+                or envelope.get("version") != ENVELOPE_VERSION
+                or envelope.get("digest") != digest
+            ):
+                raise ValueError("bad envelope")
+            payload = envelope["payload"]
+        except FileNotFoundError:
+            return MISS
+        except Exception:
+            self._discard(path)
+            return MISS
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return payload
+
+    def size_of(self, digest: str) -> int:
+        """On-disk byte size of an entry (0 if absent)."""
+        try:
+            return self.path_for(digest).stat().st_size
+        except OSError:
+            return 0
+
+    def put(self, digest: str, payload) -> int:
+        """Persist ``payload`` under ``digest`` atomically; bytes written."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "magic": ENVELOPE_MAGIC,
+            "version": ENVELOPE_VERSION,
+            "digest": digest,
+            "payload": payload,
+        }
+        blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{digest[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._discard(pathlib.Path(tmp_name))
+            raise
+        self._evict_to_cap(keep=path)
+        return len(blob)
+
+    # ------------------------------------------------------ maintenance
+    def _discard(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _evict_to_cap(self, keep: Optional[pathlib.Path] = None) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        The just-written entry (``keep``) is never evicted, so a single
+        oversized artifact may leave the store temporarily above cap.
+        """
+        if not self.max_bytes or self.max_bytes <= 0:
+            return
+        entries = []
+        total = 0
+        for path in self._iter_entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries, key=lambda e: e[0]):
+            if keep is not None and path == keep:
+                continue
+            self._discard(path)
+            total -= size
+            if total <= self.max_bytes:
+                return
+
+    def stats(self) -> StoreStats:
+        entries = 0
+        total = 0
+        for path in self._iter_entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return StoreStats(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total,
+            max_bytes=self.max_bytes or 0,
+        )
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        dropped = 0
+        for path in list(self._iter_entries()):
+            self._discard(path)
+            dropped += 1
+        return dropped
+
+
+_default: Optional[Tuple[object, ArtifactStore]] = None
+
+
+def default_store() -> ArtifactStore:
+    """The store for the active :func:`runtime_config` (rebuilt on change)."""
+    global _default
+    config = runtime_config()
+    if _default is None or _default[0] != config:
+        _default = (
+            config,
+            ArtifactStore(config.cache_dir, config.max_bytes),
+        )
+    return _default[1]
+
+
+def reset_default_store() -> None:
+    global _default
+    _default = None

@@ -7,10 +7,33 @@ builds its own module.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.compiler import ModuleBuilder, compile_module
 from repro.emulator import run_image
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _cache_sandbox(tmp_path_factory):
+    """Point the runtime artifact store at a per-session temp directory.
+
+    Tests still exercise the persistent cache (warm hits within the
+    session) without touching — or depending on — the user's real
+    ``~/.cache/repro``.  An explicit ``REPRO_CACHE_DIR`` wins, so CI can
+    share a cache across runs.
+    """
+    from repro import runtime
+
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    cache_dir = tmp_path_factory.mktemp("repro-artifact-cache")
+    runtime.configure(cache_dir=cache_dir)
+    yield
+    runtime.reset_runtime_config()
+    runtime.reset_default_store()
 
 
 def build_counting_module(name: str = "tiny", limit: int = 25):

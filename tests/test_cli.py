@@ -1,8 +1,12 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
+from repro import runtime
 from repro.cli import main
+from repro.core.study import clear_caches
 
 
 def test_list(capsys):
@@ -37,3 +41,122 @@ def test_run_unknown_experiment(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    saved = runtime.runtime_config()
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=tmp_path / "cache")
+    yield
+    clear_caches()
+    runtime.set_runtime_config(saved)
+
+
+def test_run_json_includes_rows_and_runtime_report(capsys, fresh_cache):
+    assert main(
+        ["run", "fig5", "--benchmarks", "compress", "--scale", "2",
+         "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "fig5"
+    assert payload["headers"][0] == "benchmark"
+    assert payload["rows"][0][0] == "compress"
+    assert payload["runtime"]["totals"]["misses"] > 0  # cold store
+
+
+def test_second_run_is_all_cache_hits(capsys, fresh_cache):
+    args = ["run", "fig5", "--benchmarks", "compress", "--scale", "2",
+            "--json"]
+    assert main(args) == 0
+    capsys.readouterr()
+    clear_caches()
+    assert main(args) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runtime"]["totals"]["hits"] > 0
+    assert payload["runtime"]["totals"]["misses"] == 0
+
+
+def test_run_no_cache_bypasses_the_store(capsys, fresh_cache):
+    assert main(
+        ["run", "fig5", "--benchmarks", "compress", "--scale", "2",
+         "--no-cache", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runtime"]["totals"]["hits"] == 0
+    assert runtime.default_store().stats().entries == 0
+
+
+def test_run_rows_identical_with_and_without_cache(capsys, fresh_cache):
+    args = ["run", "fig5", "--benchmarks", "compress", "--scale", "2",
+            "--json"]
+    assert main(args + ["--no-cache"]) == 0
+    direct = json.loads(capsys.readouterr().out)["rows"]
+    clear_caches()
+    runtime.configure(enabled=True)
+    assert main(args) == 0  # cold
+    cold = json.loads(capsys.readouterr().out)["rows"]
+    clear_caches()
+    assert main(args) == 0  # warm
+    warm = json.loads(capsys.readouterr().out)["rows"]
+    assert direct == cold == warm
+
+
+def test_suite_json_reports_failures_and_exits_nonzero(
+    capsys, monkeypatch, fresh_cache
+):
+    from repro.core.study import ProgramStudy
+
+    monkeypatch.setattr(
+        ProgramStudy, "verify_checksum", lambda self: self.name != "go"
+    )
+    assert main(["suite", "--scale", "2", "--json"]) == 1
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert payload["failures"] == ["go"]
+    assert "go" in captured.err and "MISMATCH" in captured.err
+
+
+def test_suite_names_failing_benchmark_on_stderr(
+    capsys, monkeypatch, fresh_cache
+):
+    from repro.core.study import ProgramStudy
+
+    monkeypatch.setattr(
+        ProgramStudy, "verify_checksum", lambda self: self.name != "perl"
+    )
+    assert main(["suite", "--scale", "2"]) == 1
+    err = capsys.readouterr().err
+    assert "perl" in err
+
+
+def test_suite_ok_exits_zero(capsys, fresh_cache):
+    assert main(["suite", "--scale", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Benchmark suite" in out
+    assert "Runtime report" in out
+
+
+def test_cache_stats_and_clear(capsys, fresh_cache):
+    assert main(
+        ["run", "fig5", "--benchmarks", "compress", "--scale", "2",
+         "--json"]
+    ) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "Artifact cache" in out and "entries" in out
+    assert main(["cache", "clear"]) == 0
+    assert "dropped" in capsys.readouterr().out
+    assert runtime.default_store().stats().entries == 0
+
+
+def test_run_with_jobs_prewarms_in_parallel(capsys, fresh_cache):
+    assert main(
+        ["run", "fig10", "--benchmarks", "compress", "go", "--scale", "2",
+         "--jobs", "2", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rows"][0][0] == "compress"
+    # prewarm computed in workers; the row pass read everything back
+    assert payload["runtime"]["totals"]["hits"] > 0

@@ -1,0 +1,132 @@
+"""Differential guarantee: the cached path is identical to the direct one.
+
+For two benchmarks × two schemes, the runtime-cached results (cold write
+and warm read-back) must match a direct :class:`ProgramStudy` computed
+with the cache disabled — compression sizes, IPC, and bus-flip counts,
+value for value.
+"""
+
+import pytest
+
+from repro import runtime
+from repro.core.study import ProgramStudy, clear_caches, study_for
+
+BENCHMARKS = ("compress", "go")
+SCHEMES = ("full", "byte")
+FETCH_SCHEMES = ("base", "compressed")
+SCALE = 3
+
+
+def _direct_results():
+    """Ground truth: the historical path, no persistent cache."""
+    saved = runtime.runtime_config()
+    runtime.configure(enabled=False)
+    try:
+        results = {}
+        for name in BENCHMARKS:
+            study = ProgramStudy(name, SCALE)
+            results[(name, "static_ops")] = study.compiled.image.total_ops
+            results[(name, "dynamic_mops")] = study.run.dynamic_mops
+            for scheme in SCHEMES:
+                image = study.compressed(scheme)
+                results[(name, scheme, "size")] = image.total_code_bytes
+                results[(name, scheme, "ratio")] = image.ratio_percent()
+            for fetch_scheme in FETCH_SCHEMES:
+                metrics = study.fetch_metrics(fetch_scheme)
+                results[(name, fetch_scheme, "ipc")] = metrics.ipc
+                results[(name, fetch_scheme, "flips")] = (
+                    metrics.bus_bit_flips
+                )
+                results[(name, fetch_scheme, "cycles")] = metrics.cycles
+        return results
+    finally:
+        runtime.set_runtime_config(saved)
+
+
+def _cached_results():
+    results = {}
+    for name in BENCHMARKS:
+        study = study_for(name, SCALE)
+        # touch compile and trace explicitly so every stage is exercised
+        results[(name, "static_ops")] = study.compiled.image.total_ops
+        results[(name, "dynamic_mops")] = study.run.dynamic_mops
+        for scheme in SCHEMES:
+            image = study.compressed(scheme)
+            results[(name, scheme, "size")] = image.total_code_bytes
+            results[(name, scheme, "ratio")] = image.ratio_percent()
+        for fetch_scheme in FETCH_SCHEMES:
+            metrics = study.fetch_metrics(fetch_scheme)
+            results[(name, fetch_scheme, "ipc")] = metrics.ipc
+            results[(name, fetch_scheme, "flips")] = metrics.bus_bit_flips
+            results[(name, fetch_scheme, "cycles")] = metrics.cycles
+    return results
+
+
+@pytest.fixture(scope="module")
+def fresh_cache(tmp_path_factory):
+    """A private, empty artifact store for this module."""
+    saved = runtime.runtime_config()
+    cache_dir = tmp_path_factory.mktemp("differential-cache")
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=cache_dir)
+    yield cache_dir
+    clear_caches()
+    runtime.set_runtime_config(saved)
+
+
+@pytest.fixture(scope="module")
+def direct(fresh_cache):
+    return _direct_results()
+
+
+def test_cold_cached_path_matches_direct(fresh_cache, direct):
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    cold = _cached_results()
+    assert cold == direct
+    # the cold pass populated the store
+    assert runtime.default_store().stats().entries > 0
+
+
+def test_warm_cached_path_matches_direct(fresh_cache, direct):
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    _cached_results()  # ensure warm
+    clear_caches()  # drop in-memory state; disk survives
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    warm = _cached_results()
+    assert warm == direct
+    report = runtime.REPORT
+    assert report.total_hits > 0
+    assert report.total_misses == 0, (
+        "warm run recomputed a stage: " + report.render()
+    )
+
+
+def test_warm_run_does_zero_recompute_per_stage(fresh_cache, direct):
+    """Every stage — compile, trace, compress, fetch — is a pure hit."""
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    _cached_results()
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    _cached_results()
+    for stage in ("compile", "trace", "compress", "fetch"):
+        metrics = runtime.REPORT.stage(stage)
+        assert metrics.misses == 0, f"{stage} recomputed"
+        assert metrics.hits > 0, f"{stage} never consulted the store"
+
+
+def test_corrupt_entry_recomputes_silently(fresh_cache, direct):
+    """Truncating every cache file costs recomputes, never an exception."""
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    _cached_results()
+    store = runtime.default_store()
+    for path in store._iter_entries():
+        path.write_bytes(path.read_bytes()[:16])
+    clear_caches()
+    runtime.configure(enabled=True, cache_dir=fresh_cache)
+    recomputed = _cached_results()
+    assert recomputed == direct
+    assert runtime.REPORT.total_misses > 0  # entries really were dropped

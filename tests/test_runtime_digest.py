@@ -1,0 +1,166 @@
+"""Cache-key correctness: digests are deterministic and discriminating."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fetch.config import FetchConfig
+from repro.runtime.fingerprint import (
+    artifact_digest,
+    fetch_config_token,
+    reset_fingerprint_cache,
+    source_fingerprint,
+)
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+class TestDigestDiscrimination:
+    def test_same_inputs_same_digest(self):
+        a = artifact_digest("compile", benchmark="go", scale=3)
+        b = artifact_digest("compile", benchmark="go", scale=3)
+        assert a == b
+
+    def test_stage_changes_digest(self):
+        a = artifact_digest("compile", benchmark="go", scale=3)
+        b = artifact_digest("trace", benchmark="go", scale=3)
+        assert a != b
+
+    def test_benchmark_changes_digest(self):
+        a = artifact_digest("compile", benchmark="go", scale=3)
+        b = artifact_digest("compile", benchmark="li", scale=3)
+        assert a != b
+
+    def test_scale_bump_changes_digest(self):
+        a = artifact_digest("compile", benchmark="go", scale=3)
+        b = artifact_digest("compile", benchmark="go", scale=4)
+        assert a != b
+
+    def test_scheme_bump_changes_digest(self):
+        a = artifact_digest(
+            "compress", benchmark="go", scale=3, scheme="full"
+        )
+        b = artifact_digest(
+            "compress", benchmark="go", scale=3, scheme="byte"
+        )
+        assert a != b
+
+    def test_extra_config_changes_digest(self):
+        a = artifact_digest(
+            "fetch", benchmark="go", scale=3, scheme="compressed",
+            extra={"scaled": True, "config": None},
+        )
+        b = artifact_digest(
+            "fetch", benchmark="go", scale=3, scheme="compressed",
+            extra={"scaled": False, "config": None},
+        )
+        assert a != b
+
+    def test_source_fingerprint_bump_changes_digest(self):
+        a = artifact_digest(
+            "compile", benchmark="go", scale=3, fingerprint="f" * 64
+        )
+        b = artifact_digest(
+            "compile", benchmark="go", scale=3, fingerprint="e" * 64
+        )
+        assert a != b
+
+
+class TestSourceFingerprint:
+    def test_deterministic_for_a_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        first = source_fingerprint(tmp_path)
+        reset_fingerprint_cache()
+        assert source_fingerprint(tmp_path) == first
+
+    def test_editing_a_file_changes_fingerprint(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        before = source_fingerprint(tmp_path)
+        reset_fingerprint_cache()
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert source_fingerprint(tmp_path) != before
+
+    def test_adding_a_file_changes_fingerprint(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        before = source_fingerprint(tmp_path)
+        reset_fingerprint_cache()
+        (tmp_path / "b.py").write_text("y = 2\n")
+        assert source_fingerprint(tmp_path) != before
+
+    def test_non_python_files_ignored(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        before = source_fingerprint(tmp_path)
+        reset_fingerprint_cache()
+        (tmp_path / "notes.txt").write_text("irrelevant\n")
+        assert source_fingerprint(tmp_path) == before
+
+    def test_memoized_within_a_process(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        first = source_fingerprint(tmp_path)
+        (tmp_path / "a.py").write_text("x = 2\n")
+        # stale by design until the cache is reset
+        assert source_fingerprint(tmp_path) == first
+        reset_fingerprint_cache()
+        assert source_fingerprint(tmp_path) != first
+
+
+class TestCrossProcess:
+    """The digest must be a pure function of inputs + source tree."""
+
+    def _digest_in_subprocess(self) -> str:
+        code = (
+            "from repro.runtime.fingerprint import artifact_digest;"
+            "print(artifact_digest('compress', benchmark='go', scale=3,"
+            " scheme='full', extra={'k': 1}))"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return out.stdout.strip()
+
+    def test_two_processes_agree(self):
+        first = self._digest_in_subprocess()
+        second = self._digest_in_subprocess()
+        assert first == second
+        assert len(first) == 64 and int(first, 16) >= 0
+
+    def test_subprocess_agrees_with_this_process(self):
+        here = artifact_digest(
+            "compress", benchmark="go", scale=3, scheme="full",
+            extra={"k": 1},
+        )
+        assert here == self._digest_in_subprocess()
+
+
+class TestFetchConfigToken:
+    def test_none_is_none(self):
+        assert fetch_config_token(None) is None
+
+    def test_token_is_deterministic_across_instances(self):
+        a = FetchConfig.for_scheme("compressed")
+        b = FetchConfig.for_scheme("compressed")
+        assert a is not b
+        assert fetch_config_token(a) == fetch_config_token(b)
+
+    def test_token_sees_field_changes(self):
+        a = FetchConfig.for_scheme("compressed")
+        b = FetchConfig.for_scheme("compressed", atb_entries=64)
+        assert fetch_config_token(a) != fetch_config_token(b)
+
+    def test_token_sees_cache_geometry(self):
+        a = FetchConfig.for_scheme("compressed", scaled=False)
+        b = FetchConfig.for_scheme("compressed", scaled=True)
+        assert fetch_config_token(a) != fetch_config_token(b)
+
+    def test_token_has_no_memory_addresses(self):
+        token = fetch_config_token(FetchConfig.for_scheme("base"))
+        assert "0x" not in token

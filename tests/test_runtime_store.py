@@ -1,0 +1,160 @@
+"""Tests for the content-addressed artifact store."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.runtime.store import (
+    ENVELOPE_MAGIC,
+    ENVELOPE_VERSION,
+    MISS,
+    ArtifactStore,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+DIGEST = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        payload = {"rows": [1, 2, 3], "name": "compress"}
+        store.put(DIGEST, payload)
+        assert store.get(DIGEST) == payload
+
+    def test_missing_entry_is_miss(self, store):
+        assert store.get(DIGEST) is MISS
+
+    def test_none_payload_distinguished_from_miss(self, store):
+        store.put(DIGEST, None)
+        assert store.get(DIGEST) is None
+
+    def test_entries_are_sharded_by_digest_prefix(self, store):
+        store.put(DIGEST, 1)
+        assert store.path_for(DIGEST).parent.name == DIGEST[:2]
+
+    def test_no_temp_files_left_behind(self, store):
+        store.put(DIGEST, list(range(1000)))
+        leftovers = [
+            p for p in store.root.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestCorruptionTolerance:
+    """A damaged cache must only ever cost a recompute, never a crash."""
+
+    def test_truncated_entry_is_miss_and_dropped(self, store):
+        store.put(DIGEST, {"big": "x" * 4096})
+        path = store.path_for(DIGEST)
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.get(DIGEST) is MISS
+        assert not path.exists()
+
+    def test_garbage_bytes_are_a_miss(self, store):
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle at all")
+        assert store.get(DIGEST) is MISS
+
+    def test_wrong_magic_is_a_miss(self, store):
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": "someone-else",
+                    "version": ENVELOPE_VERSION,
+                    "digest": DIGEST,
+                    "payload": 1,
+                }
+            )
+        )
+        assert store.get(DIGEST) is MISS
+
+    def test_stale_envelope_version_is_a_miss(self, store):
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": ENVELOPE_MAGIC,
+                    "version": ENVELOPE_VERSION + 1,
+                    "digest": DIGEST,
+                    "payload": 1,
+                }
+            )
+        )
+        assert store.get(DIGEST) is MISS
+
+    def test_entry_filed_under_wrong_digest_is_a_miss(self, store):
+        store.put(DIGEST, "payload")
+        misfiled = store.path_for(OTHER)
+        misfiled.parent.mkdir(parents=True, exist_ok=True)
+        misfiled.write_bytes(store.path_for(DIGEST).read_bytes())
+        assert store.get(OTHER) is MISS
+
+    def test_recompute_after_corruption(self, store):
+        """The caller's get-miss → compute → put cycle self-heals."""
+        store.put(DIGEST, "good")
+        store.path_for(DIGEST).write_bytes(b"\x80")  # truncated pickle
+        value = store.get(DIGEST)
+        assert value is MISS
+        store.put(DIGEST, "recomputed")
+        assert store.get(DIGEST) == "recomputed"
+
+
+class TestLRUCap:
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=1)  # everything over cap
+        digests = [f"{i:02x}" + "0" * 62 for i in range(3)]
+        for i, digest in enumerate(digests):
+            store.put(digest, "x" * 128)
+            # make mtimes strictly ordered regardless of fs resolution
+            os.utime(store.path_for(digest), (1000 + i, 1000 + i))
+        # each put evicts everything except the entry just written
+        assert store.get(digests[0]) is MISS
+        assert store.get(digests[1]) is MISS
+        assert store.get(digests[2]) == "x" * 128
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path)  # no cap while seeding
+        a, b = "aa" + "0" * 62, "bb" + "0" * 62
+        store.put(a, "x" * 64)
+        store.put(b, "x" * 64)
+        entry = store.size_of(a)
+        store.max_bytes = int(2.5 * entry)  # room for two entries
+        os.utime(store.path_for(a), (1000, 1000))
+        os.utime(store.path_for(b), (2000, 2000))
+        assert store.get(a) == "x" * 64  # touch refreshes a's mtime
+        os.utime(store.path_for(a), (3000, 3000))
+        store.put("cc" + "0" * 62, "x" * 64)  # forces eviction of b
+        assert store.get(a) == "x" * 64
+        assert store.get(b) is MISS
+
+    def test_no_cap_means_no_eviction(self, store):
+        for i in range(5):
+            store.put(f"{i:02x}" + "0" * 62, "x" * 1024)
+        assert store.stats().entries == 5
+
+
+class TestStatsAndClear:
+    def test_stats_counts_entries_and_bytes(self, store):
+        store.put(DIGEST, "abc")
+        store.put(OTHER, "defg")
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+
+    def test_clear_empties_the_store(self, store):
+        store.put(DIGEST, "abc")
+        store.put(OTHER, "defg")
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+        assert store.get(DIGEST) is MISS
