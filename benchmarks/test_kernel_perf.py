@@ -1,0 +1,52 @@
+"""pytest-benchmark timings for the kernelized hot paths.
+
+``repro bench`` (:mod:`repro.bench`) is the self-contained differential
+harness behind the checked-in ``BENCH_fetch.json``; this module hands
+the same quick workloads to ``pytest-benchmark`` for distribution
+statistics (``pytest benchmarks/test_kernel_perf.py``).  Reference and
+kernel variants share a group so the comparison shows up side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.bench import BY_NAME
+
+_MICRO = ("bitstream_roundtrip", "huffman_encode", "huffman_decode")
+_MACRO = ("fetch_replay_base", "fetch_replay_compressed")
+
+
+def _run(benchmark, name, path):
+    spec = BY_NAME[name]
+    workload = spec.setup(True)  # quick workloads keep the suite fast
+    fn = spec.reference if path == "reference" else spec.kernel
+    benchmark.group = name
+    benchmark(fn, workload)
+
+
+@pytest.mark.parametrize("path", ["reference", "kernel"])
+@pytest.mark.parametrize("name", _MICRO)
+def test_micro(benchmark, name, path):
+    _run(benchmark, name, path)
+
+
+@pytest.mark.parametrize("path", ["reference", "kernel"])
+@pytest.mark.parametrize("name", _MACRO)
+def test_macro(benchmark, name, path):
+    _run(benchmark, name, path)
+
+
+@pytest.mark.parametrize("name", _MICRO + _MACRO + ("fig13_end2end",))
+def test_paths_identical(name):
+    """The timing suite re-proves identity on its own workloads."""
+    spec = BY_NAME[name]
+    workload = spec.setup(True)
+    ref_out = spec.reference(workload)
+    kernel_out = spec.kernel(workload)
+    if spec.compare is not None:
+        assert spec.compare(workload, ref_out, kernel_out)
+    else:
+        assert ref_out == kernel_out

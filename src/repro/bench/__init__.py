@@ -1,0 +1,30 @@
+"""Continuous kernel-vs-reference benchmarks (``repro bench``).
+
+See :mod:`repro.bench.harness` for the differential timing harness and
+:mod:`repro.bench.suite` for the named workloads.  The checked-in
+``BENCH_fetch.json`` at the repo root is this package's report for the
+full (non-quick) run.
+"""
+
+from repro.bench.harness import (
+    BenchResult,
+    Benchmark,
+    report_json,
+    result_rows,
+    run_benchmark,
+    run_benchmarks,
+    summarize,
+)
+from repro.bench.suite import BENCHMARKS, BY_NAME
+
+__all__ = [
+    "BENCHMARKS",
+    "BY_NAME",
+    "BenchResult",
+    "Benchmark",
+    "report_json",
+    "result_rows",
+    "run_benchmark",
+    "run_benchmarks",
+    "summarize",
+]

@@ -1,0 +1,176 @@
+"""Kernel-vs-reference benchmark harness (``repro bench``).
+
+Every benchmark here is *differential*: it runs the same workload
+through the retained reference path and the kernelized path, checks the
+outputs are identical, and only then times both (best-of-N wall clock).
+A speedup number from this harness therefore always comes with a proof
+that the fast path computed the same answer.
+
+The harness is deliberately dependency-free — ``pytest-benchmark``
+drives the statistical variants under ``benchmarks/``, while this module
+backs the ``repro bench`` CLI and the checked-in ``BENCH_fetch.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named measurement comparing the two implementations.
+
+    ``setup(quick)`` builds the workload once; ``reference`` and
+    ``kernel`` each map the workload to an output.  ``compare`` (default:
+    ``==``) receives ``(workload, ref_out, kernel_out)`` so it can do
+    deeper validation (e.g. read a bit stream back).  ``describe`` turns
+    the workload into a small dict recorded in the report.
+    """
+
+    name: str
+    kind: str  # "micro" or "macro"
+    description: str
+    setup: Callable[[bool], Any]
+    reference: Callable[[Any], Any]
+    kernel: Callable[[Any], Any]
+    compare: Optional[Callable[[Any, Any, Any], bool]] = None
+    describe: Optional[Callable[[Any], Dict[str, Any]]] = None
+
+
+@dataclass
+class BenchResult:
+    name: str
+    kind: str
+    description: str
+    ref_seconds: float
+    kernel_seconds: float
+    identical: bool
+    repeats: int
+    quick: bool
+    workload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.kernel_seconds <= 0.0:
+            return float("inf")
+        return self.ref_seconds / self.kernel_seconds
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "ref_seconds": round(self.ref_seconds, 6),
+            "kernel_seconds": round(self.kernel_seconds, 6),
+            "speedup": round(self.speedup, 2),
+            "identical": self.identical,
+            "repeats": self.repeats,
+            "quick": self.quick,
+            "workload": self.workload,
+        }
+
+
+def _best_of(fn: Callable[[Any], Any], workload: Any, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(workload)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best if best is not None else 0.0
+
+
+def run_benchmark(
+    spec: Benchmark, *, quick: bool = False, repeats: Optional[int] = None
+) -> BenchResult:
+    """Run one benchmark: identity check first, then timing."""
+    reps = repeats if repeats is not None else (2 if quick else 3)
+    workload = spec.setup(quick)
+    # The identity pass doubles as the warm-up for both paths.
+    ref_out = spec.reference(workload)
+    kernel_out = spec.kernel(workload)
+    if spec.compare is not None:
+        identical = bool(spec.compare(workload, ref_out, kernel_out))
+    else:
+        identical = ref_out == kernel_out
+    ref_seconds = _best_of(spec.reference, workload, reps)
+    kernel_seconds = _best_of(spec.kernel, workload, reps)
+    return BenchResult(
+        name=spec.name,
+        kind=spec.kind,
+        description=spec.description,
+        ref_seconds=ref_seconds,
+        kernel_seconds=kernel_seconds,
+        identical=identical,
+        repeats=reps,
+        quick=quick,
+        workload=dict(spec.describe(workload)) if spec.describe else {},
+    )
+
+
+def run_benchmarks(
+    specs: Sequence[Benchmark],
+    *,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[Benchmark], None]] = None,
+) -> List[BenchResult]:
+    results = []
+    for spec in specs:
+        if progress is not None:
+            progress(spec)
+        results.append(run_benchmark(spec, quick=quick, repeats=repeats))
+    return results
+
+
+def summarize(results: Sequence[BenchResult]) -> Dict[str, Any]:
+    """Headline numbers: the ISSUE acceptance bars live on these keys."""
+    summary: Dict[str, Any] = {
+        "all_identical": all(r.identical for r in results),
+    }
+    fetch = [
+        r.speedup for r in results if r.name.startswith("fetch_replay_")
+    ]
+    if fetch:
+        summary["fetch_replay_min_speedup"] = round(min(fetch), 2)
+    for result in results:
+        if result.name == "bitstream_roundtrip":
+            summary["bitstream_speedup"] = round(result.speedup, 2)
+    return summary
+
+
+def report_json(
+    results: Sequence[BenchResult], *, quick: bool = False
+) -> Dict[str, Any]:
+    return {
+        "schema": 1,
+        "command": "repro bench" + (" --quick" if quick else ""),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "results": [r.to_json() for r in results],
+        "summary": summarize(results),
+    }
+
+
+def result_rows(results: Sequence[BenchResult]):
+    """``(headers, rows)`` for :func:`repro.utils.tables.format_table`."""
+    headers = [
+        "benchmark", "kind", "ref (ms)", "kernel (ms)", "speedup",
+        "identical",
+    ]
+    rows = [
+        [
+            r.name,
+            r.kind,
+            f"{r.ref_seconds * 1e3:.2f}",
+            f"{r.kernel_seconds * 1e3:.2f}",
+            f"{r.speedup:.2f}x",
+            "yes" if r.identical else "NO",
+        ]
+        for r in results
+    ]
+    return headers, rows

@@ -1,0 +1,268 @@
+"""The named benchmarks behind ``repro bench``.
+
+Micro benchmarks isolate the two kernelized primitives (bit packing and
+canonical Huffman decode); macro benchmarks replay a real study trace
+through the flattened fetch kernel against the reference engine, plus an
+end-to-end Figure 13 row.  Workloads are seeded, so two runs on one
+machine measure the same work.
+
+Both implementations are named explicitly (``BitWriter`` vs
+``ReferenceBitWriter``, ``simulate_fetch_kernel`` vs
+``simulate_fetch_reference``), so the measurements are independent of
+the ambient ``REPRO_KERNEL`` setting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.bench.harness import Benchmark
+from repro.compression.huffman import HuffmanCode, HuffmanDecoder
+from repro.utils.bitstream import BitReader, BitWriter, ReferenceBitWriter
+
+#: Benchmark/scale of the macro workload — big enough to exercise cache
+#: and ATB pressure, small enough to build in seconds.
+_MACRO_BENCH = "compress"
+_MACRO_SCALE = 6
+_SEED = 0x1999  # the paper's year
+
+
+# ------------------------------------------------------------ bitstream
+def _bitstream_setup(quick: bool) -> List[tuple]:
+    rng = random.Random(_SEED)
+    count = 6_000 if quick else 40_000
+    chunks = []
+    for _ in range(count):
+        width = rng.randint(1, 24)
+        chunks.append((rng.getrandbits(width), width))
+    return chunks
+
+def _pack(writer_cls, chunks) -> tuple:
+    writer = writer_cls()
+    write = writer.write
+    for value, width in chunks:
+        write(value, width)
+    return writer.bit_length, writer.to_bytes()
+
+def _bitstream_compare(chunks, ref_out, kernel_out) -> bool:
+    if ref_out != kernel_out:
+        return False
+    bit_length, data = kernel_out
+    reader = BitReader(data, bit_length)
+    return all(reader.read(width) == value for value, width in chunks)
+
+def _bitstream_describe(chunks) -> Dict[str, Any]:
+    return {
+        "chunks": len(chunks),
+        "bits": sum(width for _, width in chunks),
+    }
+
+
+# -------------------------------------------------------------- huffman
+def _huffman_setup(quick: bool) -> Dict[str, Any]:
+    rng = random.Random(_SEED + 1)
+    num_symbols = 96 if quick else 320
+    frequencies = {
+        symbol: 1 + rng.getrandbits(rng.randint(1, 14))
+        for symbol in range(num_symbols)
+    }
+    code = HuffmanCode.from_frequencies(frequencies, max_length=16)
+    symbols = list(frequencies)
+    weights = [frequencies[s] for s in symbols]
+    stream = rng.choices(
+        symbols, weights=weights, k=4_000 if quick else 30_000
+    )
+    writer = BitWriter()
+    for symbol in stream:
+        code.encode_symbol(symbol, writer)
+    decoder = HuffmanDecoder(code)
+    decoder._use_kernel = True  # measure the canonical table regardless
+    return {
+        "code": code,
+        "decoder": decoder,
+        "stream": stream,
+        "data": writer.to_bytes(),
+        "bits": writer.bit_length,
+    }
+
+def _huffman_encode(workload, writer_cls) -> tuple:
+    code = workload["code"]
+    writer = writer_cls()
+    encode = code.encode_symbol
+    for symbol in workload["stream"]:
+        encode(symbol, writer)
+    return writer.bit_length, writer.to_bytes()
+
+def _huffman_decode(workload, *, reference: bool) -> List[int]:
+    decoder = workload["decoder"]
+    reader = BitReader(workload["data"], workload["bits"])
+    decode = (
+        decoder.decode_symbol_reference if reference
+        else decoder.decode_symbol
+    )
+    return [decode(reader) for _ in range(len(workload["stream"]))]
+
+def _huffman_decode_compare(workload, ref_out, kernel_out) -> bool:
+    return ref_out == kernel_out == workload["stream"]
+
+def _huffman_describe(workload) -> Dict[str, Any]:
+    return {
+        "dictionary_entries": workload["code"].num_entries,
+        "stream_symbols": len(workload["stream"]),
+        "stream_bits": workload["bits"],
+    }
+
+
+# ------------------------------------------------------------ fetch sim
+def _fetch_setup(scheme: str, quick: bool) -> Dict[str, Any]:
+    # Imported lazily: building a study compiles and traces a benchmark
+    # program, which the micro benchmarks never need.
+    from repro.core.study import study_for
+    from repro.fetch.config import FetchConfig
+
+    study = study_for(_MACRO_BENCH, _MACRO_SCALE)
+    image_key = {
+        "base": "base", "tailored": "tailored", "compressed": "full",
+    }[scheme]
+    repeat = 3 if quick else 20
+    return {
+        "compressed": study.compressed(image_key),
+        "trace": list(study.run.block_trace) * repeat,
+        "config": FetchConfig.for_scheme(scheme),
+    }
+
+def _fetch_run(workload, simulate):
+    return simulate(
+        workload["compressed"], workload["trace"], workload["config"]
+    )
+
+def _fetch_describe(workload) -> Dict[str, Any]:
+    return {
+        "study": f"{_MACRO_BENCH}@{_MACRO_SCALE}",
+        "trace_blocks": len(workload["trace"]),
+        "image_blocks": len(workload["compressed"].image),
+    }
+
+
+# --------------------------------------------------------- fig13 e2e
+def _fig13_setup(quick: bool) -> Dict[str, Any]:
+    from repro.core.study import study_for
+    from repro.fetch.config import FetchConfig
+
+    study = study_for(_MACRO_BENCH, _MACRO_SCALE)
+    repeat = 1 if quick else 4
+    return {
+        "images": {
+            scheme: study.compressed(image_key)
+            for scheme, image_key in (
+                ("base", "base"),
+                ("tailored", "tailored"),
+                ("compressed", "full"),
+            )
+        },
+        "configs": {
+            scheme: FetchConfig.for_scheme(scheme)
+            for scheme in ("base", "tailored", "compressed")
+        },
+        "trace": list(study.run.block_trace) * repeat,
+    }
+
+def _fig13_run(workload, simulate) -> List[tuple]:
+    from repro.fetch.engine import ideal_metrics
+
+    trace = workload["trace"]
+    ideal = ideal_metrics(workload["images"]["base"], trace)
+    rows = [("ideal", ideal.cycles, ideal.ipc)]
+    for scheme in ("base", "tailored", "compressed"):
+        metrics = simulate(
+            workload["images"][scheme], trace, workload["configs"][scheme]
+        )
+        rows.append((scheme, metrics.cycles, metrics.ipc))
+    return rows
+
+def _fig13_describe(workload) -> Dict[str, Any]:
+    return {
+        "study": f"{_MACRO_BENCH}@{_MACRO_SCALE}",
+        "trace_blocks": len(workload["trace"]),
+        "schemes": ["ideal", "base", "tailored", "compressed"],
+    }
+
+
+def _fetch_benchmark(scheme: str) -> Benchmark:
+    from repro.fetch.engine import simulate_fetch_reference
+    from repro.fetch.kernel import simulate_fetch_kernel
+
+    return Benchmark(
+        name=f"fetch_replay_{scheme}",
+        kind="macro",
+        description=(
+            f"replay the {_MACRO_BENCH} trace through the {scheme} "
+            "fetch organization"
+        ),
+        setup=lambda quick, s=scheme: _fetch_setup(s, quick),
+        reference=lambda w: _fetch_run(w, simulate_fetch_reference),
+        kernel=lambda w: _fetch_run(w, simulate_fetch_kernel),
+        describe=_fetch_describe,
+    )
+
+
+def _build_benchmarks() -> tuple:
+    from repro.fetch.engine import simulate_fetch_reference
+    from repro.fetch.kernel import simulate_fetch_kernel
+
+    return (
+        Benchmark(
+            name="bitstream_roundtrip",
+            kind="micro",
+            description=(
+                "pack a seeded variable-width stream and render bytes"
+            ),
+            setup=_bitstream_setup,
+            reference=lambda chunks: _pack(ReferenceBitWriter, chunks),
+            kernel=lambda chunks: _pack(BitWriter, chunks),
+            compare=_bitstream_compare,
+            describe=_bitstream_describe,
+        ),
+        Benchmark(
+            name="huffman_encode",
+            kind="micro",
+            description="Huffman-encode a seeded symbol stream to bytes",
+            setup=_huffman_setup,
+            reference=lambda w: _huffman_encode(w, ReferenceBitWriter),
+            kernel=lambda w: _huffman_encode(w, BitWriter),
+            describe=_huffman_describe,
+        ),
+        Benchmark(
+            name="huffman_decode",
+            kind="micro",
+            description=(
+                "decode the stream back (canonical table vs per-length "
+                "dict walk)"
+            ),
+            setup=_huffman_setup,
+            reference=lambda w: _huffman_decode(w, reference=True),
+            kernel=lambda w: _huffman_decode(w, reference=False),
+            compare=_huffman_decode_compare,
+            describe=_huffman_describe,
+        ),
+        _fetch_benchmark("base"),
+        _fetch_benchmark("tailored"),
+        _fetch_benchmark("compressed"),
+        Benchmark(
+            name="fig13_end2end",
+            kind="macro",
+            description=(
+                "Figure 13 row end-to-end: ideal + all three fetch "
+                "organizations"
+            ),
+            setup=_fig13_setup,
+            reference=lambda w: _fig13_run(w, simulate_fetch_reference),
+            kernel=lambda w: _fig13_run(w, simulate_fetch_kernel),
+            describe=_fig13_describe,
+        ),
+    )
+
+
+BENCHMARKS = _build_benchmarks()
+BY_NAME = {spec.name: spec for spec in BENCHMARKS}

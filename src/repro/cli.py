@@ -8,6 +8,8 @@ Examples::
     python -m repro run fig13 --jobs 8          # parallel prewarm
     python -m repro run fig5 --json             # machine-readable rows
     python -m repro suite
+    python -m repro bench --quick             # kernel-vs-reference timings
+    python -m repro bench fetch_replay_base --repeats 5
     python -m repro cache stats
     python -m repro cache clear
 
@@ -157,6 +159,59 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import BY_NAME, report_json, result_rows, run_benchmarks
+
+    if args.list_benchmarks:
+        rows = [
+            [spec.name, spec.kind, spec.description]
+            for spec in BY_NAME.values()
+        ]
+        print(format_table(["benchmark", "kind", "description"], rows,
+                           title="Kernel benchmarks"))
+        return 0
+    names = args.names or list(BY_NAME)
+    unknown = [name for name in names if name not in BY_NAME]
+    if unknown:
+        print(
+            f"unknown benchmark(s): {', '.join(unknown)}; "
+            f"try: {', '.join(BY_NAME)}",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_benchmarks(
+        [BY_NAME[name] for name in names],
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=lambda spec: print(
+            f"bench {spec.name} ...", file=sys.stderr
+        ),
+    )
+    payload = report_json(results, quick=args.quick)
+    if args.json:
+        _emit_json(payload)
+    else:
+        headers, rows = result_rows(results)
+        print(format_table(headers, rows, title="Kernel vs reference"))
+        summary = payload["summary"]
+        print()
+        print("summary: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(summary.items())
+        ))
+    if args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if not payload["summary"]["all_identical"]:
+        print(
+            "DIFFERENTIAL FAILURE: kernel and reference outputs diverged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = runtime.default_store()
     if args.cache_command == "clear":
@@ -218,6 +273,36 @@ def main(argv: list[str] | None = None) -> int:
         help="emit per-benchmark results and the runtime report as JSON",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="time the simulation kernels against the reference paths",
+    )
+    bench.add_argument(
+        "names", nargs="*",
+        help="benchmark names (default: all; see --list)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads and fewer repeats (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per path (default: 3, or 2 with --quick)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_fetch.json",
+        help="where to write the JSON report ('-' to skip; "
+             "default: BENCH_fetch.json)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report to stdout instead of a table",
+    )
+    bench.add_argument(
+        "--list", dest="list_benchmarks", action="store_true",
+        help="list the available benchmarks and exit",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the artifact "
                                           "cache")
     cache.add_argument(
@@ -230,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "suite": _cmd_suite,
+        "bench": _cmd_bench,
         "cache": _cmd_cache,
     }[args.command](args)
 

@@ -14,6 +14,7 @@ from typing import Iterable, Mapping
 
 from repro.errors import CompressionError
 from repro.utils.bitstream import BitReader, BitWriter
+from repro.utils.kernelmode import kernel_enabled
 
 
 def code_lengths_from_frequencies(
@@ -64,10 +65,21 @@ def canonical_codes(lengths: Mapping[int, int]) -> dict[int, tuple[int, int]]:
     """
     if not lengths:
         raise CompressionError("no code lengths given")
-    kraft = sum(2.0 ** -length for length in lengths.values())
-    if kraft > 1.0 + 1e-9:
+    for symbol, length in lengths.items():
+        if length <= 0:
+            raise CompressionError(
+                f"symbol {symbol} has non-positive code length {length}"
+            )
+    # Exact integer Kraft check: sum(2^-l) <= 1 iff, scaled by 2^L_max,
+    # sum(2^(L_max - l)) <= 2^L_max.  Long bounded codes (L_max up to 64
+    # and beyond) would pass or fail a floating-point version on rounding
+    # alone — 2^-60 is far below one ulp at 1.0.
+    max_length = max(lengths.values())
+    kraft = sum(1 << (max_length - length) for length in lengths.values())
+    if kraft > (1 << max_length):
         raise CompressionError(
-            f"code lengths violate the Kraft inequality (sum {kraft:.6f})"
+            "code lengths violate the Kraft inequality "
+            f"(sum {kraft}/2^{max_length})"
         )
     ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
     codes: dict[int, tuple[int, int]] = {}
@@ -158,20 +170,93 @@ class HuffmanCode:
         return sum(self.codes[s][1] for s in symbols)
 
     def make_decoder(self) -> "HuffmanDecoder":
-        return HuffmanDecoder(self)
+        """A decoder for this code, memoized per kernel/reference mode.
+
+        Decoders are requested once per block decode, so caching them on
+        the (immutable) code keeps the canonical-table build cost out of
+        the per-block path.  The cache is keyed by the active
+        ``REPRO_KERNEL`` mode so differential tests can flip modes
+        mid-process.
+        """
+        cache = self.__dict__.get("_decoders")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_decoders", cache)
+        key = kernel_enabled()
+        decoder = cache.get(key)
+        if decoder is None:
+            decoder = cache[key] = HuffmanDecoder(self)
+        return decoder
 
 
 class HuffmanDecoder:
-    """Table decoder for a canonical code (software stand-in for the PLA)."""
+    """Table decoder for a canonical code (software stand-in for the PLA).
+
+    Two paths coexist.  The *kernel* path mirrors the canonical-Huffman
+    hardware trick: one ``read`` of ``max_code_length`` bits, then a walk
+    over a first-code/offset-per-length table — integer compares only, no
+    per-length dict probes, no repeated reads.  The *reference* path is
+    the original per-length dictionary walk; ``REPRO_KERNEL=ref`` at
+    construction time selects it, and
+    :meth:`decode_symbol_reference` keeps it reachable for differential
+    tests regardless of mode.
+    """
+
+    __slots__ = ("_steps", "_max_length", "_by_length", "_lengths",
+                 "_use_kernel")
 
     def __init__(self, code: HuffmanCode) -> None:
         self._by_length: dict[int, dict[int, int]] = {}
         for symbol, (word, length) in code.codes.items():
             self._by_length.setdefault(length, {})[word] = symbol
         self._lengths = sorted(self._by_length)
+        # Canonical tables: codes of one length are consecutive integers,
+        # so each length needs only (first_code, limit, symbols-in-order).
+        max_length = self._lengths[-1]
+        self._max_length = max_length
+        self._steps: list[tuple[int, int, int, int, list[int]]] = []
+        for length in self._lengths:
+            table = self._by_length[length]
+            first = min(table)
+            symbols = [table[word] for word in sorted(table)]
+            self._steps.append(
+                (
+                    length,
+                    max_length - length,  # window shift down to `length` bits
+                    first,
+                    first + len(symbols),  # one past the last code
+                    symbols,
+                )
+            )
+        self._use_kernel = kernel_enabled()
 
     def decode_symbol(self, reader: BitReader) -> int:
         """Consume one code word from ``reader`` and return its symbol."""
+        if not self._use_kernel:
+            return self.decode_symbol_reference(reader)
+        pos = reader.position
+        avail = reader.remaining
+        max_length = self._max_length
+        take = max_length if avail >= max_length else avail
+        window = reader.read(take) << (max_length - take)
+        for length, shift, first, limit, symbols in self._steps:
+            prefix = window >> shift
+            if prefix < limit:
+                if prefix < first:
+                    break  # a gap below this length's codes: invalid
+                if length > avail:
+                    raise EOFError(
+                        f"read of {length} bits at offset {pos} passes "
+                        f"end ({reader.bit_length} bits)"
+                    )
+                reader.seek(pos + length)
+                return symbols[prefix - first]
+        raise CompressionError(
+            f"bit pattern {window:b} ({take} bits) matches no code word"
+        )
+
+    def decode_symbol_reference(self, reader: BitReader) -> int:
+        """The original per-length dict walk (the retained reference)."""
         word = 0
         consumed = 0
         for length in self._lengths:

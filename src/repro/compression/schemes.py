@@ -202,12 +202,12 @@ class ByteHuffmanScheme(CompressionScheme):
         for block in image:
             histogram.update(block.encode_baseline())
         code = self._build_code(histogram)
-        from repro.utils.bitstream import BitWriter
+        from repro.utils.bitstream import new_writer
 
         payloads = []
         bit_lengths = []
         for block in image:
-            writer = BitWriter()
+            writer = new_writer()
             for byte in block.encode_baseline():
                 code.encode_symbol(byte, writer)
             bit_lengths.append(writer.bit_length)
@@ -256,12 +256,12 @@ class StreamHuffmanScheme(CompressionScheme):
             for i, symbol in enumerate(self.config.split(op.encode())):
                 histograms[i][symbol] += 1
         codes = [self._build_code(h) for h in histograms]
-        from repro.utils.bitstream import BitWriter
+        from repro.utils.bitstream import new_writer
 
         payloads = []
         bit_lengths = []
         for block in image:
-            writer = BitWriter()
+            writer = new_writer()
             for op in block.ops:
                 for i, symbol in enumerate(
                     self.config.split(op.encode())
@@ -312,12 +312,12 @@ class FullOpHuffmanScheme(CompressionScheme):
             op.encode() for op in image.all_operations()
         )
         code = self._build_code(histogram)
-        from repro.utils.bitstream import BitWriter
+        from repro.utils.bitstream import new_writer
 
         payloads = []
         bit_lengths = []
         for block in image:
-            writer = BitWriter()
+            writer = new_writer()
             for op in block.ops:
                 code.encode_symbol(op.encode(), writer)
             bit_lengths.append(writer.bit_length)

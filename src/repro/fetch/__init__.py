@@ -29,7 +29,12 @@ from repro.fetch.config import (
     PenaltyTable,
     TAILORED_CACHE,
 )
-from repro.fetch.engine import FetchMetrics, simulate_fetch
+from repro.fetch.engine import (
+    FetchMetrics,
+    simulate_fetch,
+    simulate_fetch_reference,
+)
+from repro.fetch.kernel import kernel_supported, simulate_fetch_kernel
 from repro.fetch.l0buffer import L0Buffer
 
 __all__ = [
@@ -46,5 +51,8 @@ __all__ = [
     "TAILORED_CACHE",
     "att_bytes",
     "att_overhead_percent",
+    "kernel_supported",
     "simulate_fetch",
+    "simulate_fetch_kernel",
+    "simulate_fetch_reference",
 ]

@@ -25,6 +25,8 @@ from repro.fetch.config import CacheGeometry
 
 @dataclass
 class ATBEntry:
+    __slots__ = ("block_id", "predictor")
+
     block_id: int
     predictor: BlockPredictor
 

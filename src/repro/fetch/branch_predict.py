@@ -42,6 +42,11 @@ KIND_HALT = 5
 class BlockMeta:
     """Control summary of one block, precomputed for the fetch loop."""
 
+    __slots__ = (
+        "block_id", "kind", "target", "fallthrough", "mop_count",
+        "op_count",
+    )
+
     block_id: int
     kind: int
     target: Optional[int]

@@ -25,6 +25,7 @@ from repro.fetch.branch_predict import BlockMeta
 from repro.fetch.config import FetchConfig
 from repro.fetch.l0buffer import L0Buffer
 from repro.power.busmodel import BusModel
+from repro.utils.kernelmode import kernel_enabled
 
 
 @dataclass
@@ -89,6 +90,17 @@ def ideal_metrics(
     return metrics
 
 
+def _resolve_config(
+    compressed: CompressedImage, config: Optional[FetchConfig]
+) -> FetchConfig:
+    if config is not None:
+        return config
+    name = compressed.scheme_name
+    if name not in ("base", "tailored"):
+        name = "compressed"
+    return FetchConfig.for_scheme(name)
+
+
 def simulate_fetch(
     compressed: CompressedImage,
     trace: Sequence[int],
@@ -100,12 +112,34 @@ def simulate_fetch(
     sizes in the scheme's ROM encoding) and the payload bytes for the bus
     model.  The scheme is taken from the config (``base`` / ``tailored``
     / ``compressed``).
+
+    Dispatches to the flattened kernel in :mod:`repro.fetch.kernel`
+    unless ``REPRO_KERNEL=ref`` selects the reference path or the config
+    uses something the kernel does not model (e.g. a subclassed penalty
+    table).  Both paths are bit-identical — enforced by
+    ``tests/test_kernel_differential.py``.
     """
-    if config is None:
-        name = compressed.scheme_name
-        if name not in ("base", "tailored"):
-            name = "compressed"
-        config = FetchConfig.for_scheme(name)
+    config = _resolve_config(compressed, config)
+    if kernel_enabled():
+        from repro.fetch.kernel import kernel_supported, simulate_fetch_kernel
+
+        if kernel_supported(config):
+            return simulate_fetch_kernel(compressed, trace, config)
+    return simulate_fetch_reference(compressed, trace, config)
+
+
+def simulate_fetch_reference(
+    compressed: CompressedImage,
+    trace: Sequence[int],
+    config: Optional[FetchConfig] = None,
+) -> FetchMetrics:
+    """The retained straight-line model (one object per structure).
+
+    This is the behavioral definition of the fetch machine; the kernel
+    is an optimization of *this* function and is differentially tested
+    against it.
+    """
+    config = _resolve_config(compressed, config)
     scheme = config.scheme
     if scheme not in ("base", "tailored", "compressed"):
         raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
@@ -161,15 +195,18 @@ def simulate_fetch(
         if buffer is not None:
             buffer_hit = buffer.access(block_id, meta.op_count)
 
+        # (cache_hit, total_lines) is bound explicitly in each branch: a
+        # buffer hit must charge exactly one line, never a line count
+        # left over from an earlier iteration's cache probe.
         if buffer_hit:
             # L0 has priority over the L1; no cache state change.
             cache_hit, total_lines = True, 1
         else:
-            cache_hit, total_lines, missing = cache.access_block(
+            cache_hit, total_lines, _missing = cache.access_block(
                 offsets[block_id], sizes[block_id]
             )
             if not cache_hit:
-                bus.transfer(bytes(payloads[block_id]))
+                bus.transfer(payloads[block_id])
 
         n = total_lines if not cache_hit else (
             total_lines if scheme == "compressed" else 1

@@ -1,0 +1,418 @@
+"""Flattened fetch-replay kernel (the default ``simulate_fetch`` path).
+
+:func:`repro.fetch.engine.simulate_fetch_reference` is the readable,
+object-per-structure model; every figure funnels millions of trace
+entries through its inner loop, so this module re-states the *same*
+machine as a single flat loop over precomputed parallel columns:
+
+* per-block ``BlockMeta`` fields, MultiOp/op counts, (set, line) pairs
+  for the banked cache, and pre-chunked bus beats live in plain lists
+  indexed by block id — no per-iteration object construction, no
+  ``bytes(...)`` copy on the miss path, no ``lines_of`` range math;
+* the ATB, L0 buffer, banked cache, bus and predictors are inlined
+  behind local bindings (an ATB entry is a two-slot list);
+* Table 1 is pre-resolved into ``(base, per_extra_line)`` pairs per
+  (prediction, cache-hit) outcome, derived by *querying* the config's
+  own :class:`~repro.fetch.config.PenaltyTable` so the kernel can never
+  drift from the table it replaces.
+
+The kernel must produce **bit-identical** :class:`FetchMetrics` to the
+reference — ``tests/test_kernel_differential.py`` enforces that, and
+``repro bench fetch_replay`` measures the speedup.  Anything the kernel
+does not model (a subclassed penalty table, an unknown predictor) makes
+:func:`kernel_supported` return ``False`` and the engine falls back to
+the reference path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compression.schemes import CompressedImage
+from repro.errors import ConfigurationError
+from repro.fetch.atb import att_bytes
+from repro.fetch.branch_predict import BlockMeta
+from repro.fetch.config import FetchConfig, PenaltyTable
+
+#: BlockMeta terminator kinds, mirrored locally (see branch_predict).
+_FALLTHROUGH, _COND, _JUMP, _CALL, _RET, _HALT = range(6)
+
+#: 2-bit counter thresholds (branch_predict.WEAK_TAKEN / STRONG_TAKEN).
+_WEAK_TAKEN = 2
+_STRONG_TAKEN = 3
+
+
+def kernel_supported(config: FetchConfig) -> bool:
+    """Can the flattened kernel model this configuration exactly?"""
+    return (
+        type(config.penalties) is PenaltyTable
+        and config.predictor in ("block", "gshare")
+    )
+
+
+def _penalty_pair(
+    penalties: PenaltyTable, scheme: str, pred: bool, hit: bool
+) -> tuple[int, int]:
+    """(base_cycles, cycles_per_extra_line) for one Table 1 row.
+
+    Derived by evaluating the table at n=1 and n=2, so any edit to
+    Table 1 flows into the kernel automatically.
+    """
+    base = penalties.initiation_cycles(
+        scheme, pred_correct=pred, cache_hit=hit, buffer_hit=False, n=1
+    )
+    slope = (
+        penalties.initiation_cycles(
+            scheme, pred_correct=pred, cache_hit=hit, buffer_hit=False, n=2
+        )
+        - base
+    )
+    return base, slope
+
+
+def simulate_fetch_kernel(
+    compressed: CompressedImage,
+    trace: Sequence[int],
+    config: FetchConfig,
+) -> "FetchMetrics":
+    """Replay ``trace`` with the flattened kernel (see module docstring).
+
+    ``config`` must already be resolved (the engine's dispatcher does
+    that) and satisfy :func:`kernel_supported`.
+    """
+    from repro.fetch.engine import FetchMetrics
+
+    scheme = config.scheme
+    if scheme not in ("base", "tailored", "compressed"):
+        raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+
+    image = compressed.image
+    nblocks = len(image)
+
+    # ---------------------------------------------------- block columns
+    kinds = [0] * nblocks
+    targets = [-1] * nblocks  # -1 encodes "no target" (None)
+    falls = [-1] * nblocks
+    mop_counts = [0] * nblocks
+    op_counts = [0] * nblocks
+    for block in image:
+        meta = BlockMeta.from_block(block)
+        bid = meta.block_id
+        kinds[bid] = meta.kind
+        targets[bid] = -1 if meta.target is None else meta.target
+        falls[bid] = -1 if meta.fallthrough is None else meta.fallthrough
+        mop_counts[bid] = meta.mop_count
+        op_counts[bid] = meta.op_count
+
+    # Cache geometry → per-block (set_index, line) pairs, computed once.
+    # Single-line blocks (the common case) get a flattened fast path.
+    geometry = config.cache
+    line_bytes = geometry.line_bytes
+    half_sets = geometry.num_sets >> 1
+    cache_ways = geometry.ways
+    span_pairs: list[tuple[tuple[int, int], ...]] = []
+    span_single: list = []  # (set_index, line) when one line, else None
+    for bid in range(nblocks):
+        start = compressed.block_offset(bid)
+        size = max(1, compressed.block_size(bid))
+        first = start // line_bytes
+        last = (start + size - 1) // line_bytes
+        pairs = tuple(
+            ((((line >> 1) % half_sets) << 1) | (line & 1), line)
+            for line in range(first, last + 1)
+        )
+        span_pairs.append(pairs)
+        span_single.append(pairs[0] if len(pairs) == 1 else None)
+
+    # Bus traffic → per-block beat words, padded exactly like BusModel.
+    bus_width = config.bus_bytes
+    if bus_width <= 0:
+        raise ConfigurationError(
+            f"bus width must be positive, got {bus_width}"
+        )
+    beats_by_block: list[list[int]] = []
+    payload_lens: list[int] = []
+    for bid in range(nblocks):
+        payload = bytes(compressed.block_payloads[bid])
+        payload_lens.append(len(payload))
+        beats = []
+        for i in range(0, len(payload), bus_width):
+            chunk = payload[i : i + bus_width]
+            if len(chunk) < bus_width:
+                chunk = chunk + b"\x00" * (bus_width - len(chunk))
+            beats.append(int.from_bytes(chunk, "big"))
+        beats_by_block.append(beats)
+
+    # ------------------------------------------------------- structures
+    atb_ways = config.atb_ways
+    if config.atb_entries % atb_ways:
+        raise ConfigurationError(
+            f"ATB entries {config.atb_entries} not divisible by ways "
+            f"{atb_ways}"
+        )
+    num_atb_sets = config.atb_entries // atb_ways
+    if num_atb_sets & (num_atb_sets - 1):
+        raise ConfigurationError(
+            f"ATB set count {num_atb_sets} is not a power of two"
+        )
+    atb_mask = num_atb_sets - 1
+    # Per ATB set: insertion-ordered dict block_id -> [counter, last_target]
+    # (LRU first); a two-slot list *is* the per-entry predictor state.
+    atb_sets: list[dict[int, list[int]]] = [
+        {} for _ in range(num_atb_sets)
+    ]
+    # The owning set of every block is static — resolve it to the dict
+    # object once so the loop does one list index, no masking.
+    atb_bucket_of = [atb_sets[bid & atb_mask] for bid in range(nblocks)]
+
+    cache_sets: list[dict[int, bool]] = [
+        {} for _ in range(geometry.num_sets)
+    ]
+    # Likewise resolve each block's cache lines to their set dicts.
+    span_buckets = [
+        tuple((cache_sets[set_index], line) for set_index, line in pairs)
+        for pairs in span_pairs
+    ]
+    span_single_bucket = [
+        None if single is None else (cache_sets[single[0]], single[1])
+        for single in span_single
+    ]
+
+    is_compressed = scheme == "compressed"
+    l0: dict[int, int] = {}
+    l0_cap = config.l0_capacity_ops
+    l0_used = 0
+    if is_compressed and l0_cap <= 0:
+        raise ConfigurationError(
+            f"L0 capacity must be positive, got {l0_cap}"
+        )
+
+    use_gshare = config.predictor == "gshare"
+    if use_gshare:
+        history_bits = config.gshare_history_bits
+        if not 1 <= history_bits <= 24:
+            raise ValueError(f"bad history width {history_bits}")
+        g_mask = (1 << history_bits) - 1
+        g_history = 0
+        g_counters = [_WEAK_TAKEN] * (1 << history_bits)
+
+    # Table 1, fully resolved: per-block cycle cost for each of the four
+    # (prediction, cache) outcomes, with the streaming tail (mop_count-1)
+    # folded in.  The loop then adds a single precomputed integer.
+    penalties = config.penalties
+    hit_pen_t = _penalty_pair(penalties, scheme, True, True)
+    hit_pen_f = _penalty_pair(penalties, scheme, False, True)
+    miss_pen_t = _penalty_pair(penalties, scheme, True, False)
+    miss_pen_f = _penalty_pair(penalties, scheme, False, False)
+    buf_hit_cycles = (
+        penalties.initiation_cycles(
+            "compressed", pred_correct=True, cache_hit=True,
+            buffer_hit=True, n=1,
+        )
+        if is_compressed
+        else 0
+    )
+    hit_cost_t = [0] * nblocks
+    hit_cost_f = [0] * nblocks
+    miss_cost_t = [0] * nblocks
+    miss_cost_f = [0] * nblocks
+    buf_cost = [0] * nblocks
+    for bid in range(nblocks):
+        extra = len(span_pairs[bid]) - 1
+        tail = mop_counts[bid] - 1
+        hit_cost_t[bid] = hit_pen_t[0] + hit_pen_t[1] * extra + tail
+        hit_cost_f[bid] = hit_pen_f[0] + hit_pen_f[1] * extra + tail
+        miss_cost_t[bid] = miss_pen_t[0] + miss_pen_t[1] * extra + tail
+        miss_cost_f[bid] = miss_pen_f[0] + miss_pen_f[1] * extra + tail
+        buf_cost[bid] = buf_hit_cycles + tail
+    atb_penalty = config.atb_miss_penalty
+
+    # ------------------------------------------------------- metric state
+    cycles = 0
+    delivered_ops = 0
+    delivered_mops = 0
+    blocks_fetched = 0
+    cache_hits = cache_misses = lines_fetched = 0
+    buffer_hits = buffer_misses = 0
+    pred_right = pred_wrong = 0
+    atb_hits = atb_misses = 0
+    bus_state = 0
+    bus_beats = bus_bytes = bus_flips = 0
+
+    # Cold start counts as a correct prediction (reference semantics),
+    # expressed by seeding ``predicted`` with the first trace entry.
+    predicted = trace[0] if len(trace) else -1
+    # Predictor training is deferred by one iteration: the successor a
+    # block trains on *is* the next trace entry, so training block i at
+    # the top of iteration i+1 needs no lookahead indexing.  State-wise
+    # this is identical to the reference (prediction for a block always
+    # happens before that block's own training, in both orderings).
+    prev_kind = -1  # sentinel: nothing to train yet
+    prev_block = -1
+    prev_entry = [0, -1]
+
+    for block_id in trace:
+        # --- train the previous block on its observed successor
+        if prev_kind == _COND:
+            if use_gshare:
+                index = (prev_block ^ g_history) & g_mask
+                if block_id == targets[prev_block]:
+                    if g_counters[index] < _STRONG_TAKEN:
+                        g_counters[index] += 1
+                    g_history = ((g_history << 1) | 1) & g_mask
+                else:
+                    if g_counters[index] > 0:
+                        g_counters[index] -= 1
+                    g_history = (g_history << 1) & g_mask
+            elif block_id == targets[prev_block]:
+                if prev_entry[0] < _STRONG_TAKEN:
+                    prev_entry[0] += 1
+                prev_entry[1] = block_id
+            else:
+                if prev_entry[0] > 0:
+                    prev_entry[0] -= 1
+        elif prev_kind == _RET or prev_kind == _CALL:
+            prev_entry[1] = block_id
+
+        pred_ok = predicted == block_id
+
+        # --- ATB (set-associative, LRU; entry hosts predictor state)
+        bucket = atb_bucket_of[block_id]
+        entry = bucket.pop(block_id, None)
+        if entry is not None:
+            bucket[block_id] = entry  # move to MRU position
+            atb_hits += 1
+        else:
+            atb_misses += 1
+            if len(bucket) >= atb_ways:
+                del bucket[next(iter(bucket))]  # evict LRU
+            entry = [_WEAK_TAKEN, -1]
+            bucket[block_id] = entry
+            cycles += atb_penalty
+
+        # --- L0 buffer (compressed only), then the banked L1.
+        # The cycle cost is bound explicitly in every branch so a buffer
+        # hit can never reuse line counts from an earlier iteration's
+        # cache probe (regression-tested in test_fetch_engine.py).
+        buffer_hit = False
+        if is_compressed:
+            resident = l0.pop(block_id, None)
+            if resident is not None:
+                l0[block_id] = resident  # move to MRU
+                buffer_hits += 1
+                buffer_hit = True
+            else:
+                buffer_misses += 1
+                op_count = op_counts[block_id]
+                if op_count <= l0_cap:
+                    while l0_used + op_count > l0_cap:
+                        l0_used -= l0.pop(next(iter(l0)))
+                    l0[block_id] = op_count
+                    l0_used += op_count
+
+        if buffer_hit:
+            cycles += buf_cost[block_id]
+        else:
+            single = span_single_bucket[block_id]
+            if single is not None:
+                bucket, line = single
+                if bucket.pop(line, False):
+                    bucket[line] = True
+                    missing = 0
+                else:
+                    missing = 1
+                    if len(bucket) >= cache_ways:
+                        del bucket[next(iter(bucket))]
+                    bucket[line] = True
+            else:
+                # Two phases, like BankedCache.access_block: probe every
+                # line before touching any, so an install cannot evict a
+                # sibling line that should have counted as resident.
+                spans = span_buckets[block_id]
+                missing = 0
+                for bucket, line in spans:
+                    if line not in bucket:
+                        missing += 1
+                for bucket, line in spans:
+                    if line in bucket:
+                        del bucket[line]
+                    elif len(bucket) >= cache_ways:
+                        del bucket[next(iter(bucket))]
+                    bucket[line] = True
+            if missing:
+                cache_misses += 1
+                lines_fetched += missing
+                beats = beats_by_block[block_id]
+                for beat in beats:
+                    bus_flips += (beat ^ bus_state).bit_count()
+                    bus_state = beat
+                bus_beats += len(beats)
+                bus_bytes += payload_lens[block_id]
+                cycles += (
+                    miss_cost_t[block_id] if pred_ok
+                    else miss_cost_f[block_id]
+                )
+            else:
+                cache_hits += 1
+                cycles += (
+                    hit_cost_t[block_id] if pred_ok
+                    else hit_cost_f[block_id]
+                )
+
+        # --- delivery accounting (streaming cycles folded into costs)
+        delivered_mops += mop_counts[block_id]
+        delivered_ops += op_counts[block_id]
+        blocks_fetched += 1
+        if pred_ok:
+            pred_right += 1
+        else:
+            pred_wrong += 1
+
+        # --- next-block prediction (training happens next iteration)
+        kind = kinds[block_id]
+        if kind == _FALLTHROUGH:
+            predicted = falls[block_id]
+        elif kind == _HALT:
+            predicted = -1
+        elif kind == _RET:
+            predicted = entry[1]
+        elif kind == _JUMP or kind == _CALL:
+            predicted = targets[block_id]
+        elif use_gshare:
+            predicted = (
+                targets[block_id]
+                if g_counters[(block_id ^ g_history) & g_mask]
+                >= _WEAK_TAKEN
+                else falls[block_id]
+            )
+        else:
+            predicted = (
+                targets[block_id]
+                if entry[0] >= _WEAK_TAKEN
+                else falls[block_id]
+            )
+        prev_kind = kind
+        prev_block = block_id
+        prev_entry = entry
+
+    metrics = FetchMetrics(scheme=scheme)
+    metrics.code_bytes = compressed.total_code_bytes
+    metrics.att_bytes = att_bytes(compressed, geometry)
+    metrics.cycles = cycles
+    metrics.delivered_ops = delivered_ops
+    metrics.delivered_mops = delivered_mops
+    metrics.blocks_fetched = blocks_fetched
+    metrics.cache_hits = cache_hits
+    metrics.cache_misses = cache_misses
+    metrics.lines_fetched = lines_fetched
+    metrics.buffer_hits = buffer_hits
+    metrics.buffer_misses = buffer_misses
+    metrics.pred_correct = pred_right
+    metrics.pred_incorrect = pred_wrong
+    metrics.atb_hits = atb_hits
+    metrics.atb_misses = atb_misses
+    metrics.bus_bytes = bus_bytes
+    metrics.bus_beats = bus_beats
+    metrics.bus_bit_flips = bus_flips
+    metrics.extra["line_bytes"] = line_bytes
+    return metrics

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.errors import DecodingError, EncodingError
-from repro.utils.bitstream import BitWriter
+from repro.utils.bitstream import BitWriter, new_writer
 
 
 @dataclass(frozen=True)
@@ -96,7 +96,7 @@ class Format:
             raise EncodingError(
                 f"format {self.name!r}: unknown fields {sorted(unknown)}"
             )
-        writer = BitWriter()
+        writer = new_writer()
         for f in self.fields:
             value = values.get(f.name, 0)
             if not 0 <= value <= f.max_value:

@@ -1,6 +1,12 @@
 """Shared low-level utilities: bit streams, tables, statistics."""
 
-from repro.utils.bitstream import BitReader, BitWriter
+from repro.utils.bitstream import (
+    BitReader,
+    BitWriter,
+    ReferenceBitWriter,
+    new_writer,
+)
+from repro.utils.kernelmode import kernel_enabled
 from repro.utils.stats import (
     geometric_mean,
     mean,
@@ -14,7 +20,10 @@ from repro.utils.tables import format_table
 __all__ = [
     "BitReader",
     "BitWriter",
+    "ReferenceBitWriter",
     "format_table",
+    "kernel_enabled",
+    "new_writer",
     "geometric_mean",
     "mean",
     "median",

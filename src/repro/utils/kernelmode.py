@@ -1,0 +1,33 @@
+"""Kernel/reference path selection for the performance-critical loops.
+
+The simulator keeps two implementations of every hot path: a flattened
+*kernel* (the default) and the original straight-line *reference*.  The
+kernels are proven bit-identical to the references by the differential
+tests in ``tests/test_kernel_differential.py``; the environment variable
+``REPRO_KERNEL`` selects which one runs:
+
+* unset, ``kernel`` (or anything else) — the fast kernels;
+* ``ref`` / ``reference`` — the retained reference paths.
+
+The switch is read at each dispatch point (not import time) so a single
+process can compare both paths — that is exactly what the differential
+tests and ``repro bench`` do.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable naming the active implementation.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Values of :data:`KERNEL_ENV` that select the reference paths.
+_REFERENCE_VALUES = frozenset({"ref", "reference", "0"})
+
+
+def kernel_enabled() -> bool:
+    """Should the fast kernels run?  (``REPRO_KERNEL=ref`` disables them.)"""
+    return (
+        os.environ.get(KERNEL_ENV, "kernel").strip().lower()
+        not in _REFERENCE_VALUES
+    )

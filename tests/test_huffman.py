@@ -175,3 +175,30 @@ def test_bounded_code_feeds_canonical_coder(freqs, limit):
     code = HuffmanCode.from_frequencies(freqs, max_length=limit)
     assert code.max_code_length <= limit
     assert _is_prefix_free(code.codes)
+
+
+class TestExactKraftCheck:
+    def test_float_rounding_violation_is_caught(self):
+        # sum(2**-l) = 1 + 2**-60, which rounds to exactly 1.0 in a
+        # double — only the integer form of the check can reject it.
+        lengths = {0: 1, 1: 2, 2: 3, 3: 3, 4: 60}
+        assert sum(2.0**-length for length in lengths.values()) <= 1.0
+        with pytest.raises(CompressionError, match="Kraft"):
+            canonical_codes(lengths)
+
+    def test_exactly_complete_code_accepted(self):
+        codes = canonical_codes({0: 1, 1: 2, 2: 2})
+        assert _is_prefix_free(codes)
+
+    def test_deep_complete_code_accepted(self):
+        # A 60-deep chain: {1, 2, ..., 59, 60, 60} is exactly complete.
+        lengths = {i: i for i in range(1, 61)}
+        lengths[61] = 60
+        codes = canonical_codes(lengths)
+        assert _is_prefix_free(codes)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(CompressionError, match="non-positive"):
+            canonical_codes({0: 1, 1: 0})
+        with pytest.raises(CompressionError, match="non-positive"):
+            canonical_codes({0: -3})
