@@ -1,0 +1,40 @@
+"""repro.check — invariant checking and fault injection.
+
+The subsystem has three layers:
+
+* :mod:`repro.check.registry` — the declarative invariant registry
+  (``@invariant``, :class:`Recorder`, :class:`CheckContext`);
+* :mod:`repro.check.invariants` / :mod:`repro.check.faults` — the
+  checks themselves: artifact invariants over real suite programs, and
+  fault injection against the artifact store;
+* :mod:`repro.check.runner` — executes a selection and produces the
+  :class:`CheckReport` behind ``repro check``.
+"""
+
+from repro.check.registry import (
+    INJECT_TAGS,
+    REGISTRY,
+    SCOPES,
+    CheckContext,
+    Invariant,
+    Recorder,
+    Violation,
+    invariant,
+    select,
+)
+from repro.check.runner import CheckOutcome, CheckReport, run_checks
+
+__all__ = [
+    "CheckContext",
+    "CheckOutcome",
+    "CheckReport",
+    "INJECT_TAGS",
+    "Invariant",
+    "REGISTRY",
+    "Recorder",
+    "SCOPES",
+    "Violation",
+    "invariant",
+    "run_checks",
+    "select",
+]

@@ -10,6 +10,8 @@ Examples::
     python -m repro suite
     python -m repro bench --quick             # kernel-vs-reference timings
     python -m repro bench fetch_replay_base --repeats 5
+    python -m repro check --quick             # invariant + fault sweep
+    python -m repro check --full --seed 7 --json
     python -m repro cache stats
     python -m repro cache clear
 
@@ -28,13 +30,37 @@ import sys
 from repro import runtime
 from repro.core.experiments import EXPERIMENTS
 from repro.core.study import study_for
+from repro.errors import ConfigurationError
 from repro.programs.suite import BENCHMARK_NAMES, SUITE
+from repro.runtime.config import environment_problems
+from repro.utils.kernelmode import kernel_env_problem
 from repro.utils.tables import format_table
 
 
 def _apply_runtime_flags(args) -> None:
     if getattr(args, "no_cache", False):
         runtime.configure(enabled=False)
+
+
+def _validate_invocation(args) -> None:
+    """Reject bad flags and malformed ``REPRO_*`` environment values.
+
+    Raises :class:`ConfigurationError`; ``main`` maps it to exit code 2.
+    The library layer merely warns and defaults on the same problems —
+    an interactive invocation should fail loudly instead of silently
+    running with the wrong parallelism or the wrong simulation path.
+    """
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(
+            f"--jobs must be a positive process count, got {jobs}"
+        )
+    problems = environment_problems()
+    kernel_problem = kernel_env_problem()
+    if kernel_problem:
+        problems = problems + [kernel_problem]
+    if problems:
+        raise ConfigurationError("; ".join(problems))
 
 
 def _jobs(args) -> int:
@@ -212,6 +238,39 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import run_checks
+    from repro.errors import CheckError
+
+    try:
+        report = run_checks(
+            args.benchmarks or None,
+            quick=not args.full,
+            seed=args.seed,
+            scale=args.scale,
+            inject=tuple(args.inject or ()),
+            progress=(
+                None
+                if args.json
+                else lambda inv: print(
+                    f"check {inv.name} ...", file=sys.stderr
+                )
+            ),
+        )
+    except CheckError as exc:
+        print(f"check error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(report.to_json())
+    else:
+        print(report.render())
+    if not report.ok:
+        names = ", ".join(o.name for o in report.failing)
+        print(f"invariant violation(s): {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = runtime.default_store()
     if args.cache_command == "clear":
@@ -303,6 +362,39 @@ def main(argv: list[str] | None = None) -> int:
         help="list the available benchmarks and exit",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="run the invariant registry and store fault injection",
+    )
+    mode = check.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true",
+        help="quick sweep: one stream config, shorter random streams "
+             "(the default)",
+    )
+    mode.add_argument(
+        "--full", action="store_true",
+        help="exhaustive sweep: all stream configs, longer traces, "
+             "full-only invariants",
+    )
+    check.add_argument(
+        "--seed", type=int, default=1999,
+        help="seed for every randomized trace and fault pattern "
+             "(default: 1999)",
+    )
+    check.add_argument("--benchmarks", nargs="*", default=None)
+    check.add_argument("--scale", type=int, default=None)
+    check.add_argument(
+        "--inject", action="append", default=None,
+        choices=("roundtrip", "conservation"),
+        help="deliberately corrupt one observation so the named "
+             "invariant must fail (CI proves non-zero exit)",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit the invariant report as JSON",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the artifact "
                                           "cache")
     cache.add_argument(
@@ -311,11 +403,17 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    try:
+        _validate_invocation(args)
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
     return {
         "list": _cmd_list,
         "run": _cmd_run,
         "suite": _cmd_suite,
         "bench": _cmd_bench,
+        "check": _cmd_check,
         "cache": _cmd_cache,
     }[args.command](args)
 

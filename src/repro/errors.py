@@ -40,3 +40,21 @@ class CompressionError(ReproError):
 
 class ConfigurationError(ReproError):
     """A simulator or study was configured inconsistently."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """A task failed inside the scheduler.
+
+    Carries the failing tasks' worker tracebacks in its message and, on
+    the inline path, chains the original exception.  Also a
+    :class:`RuntimeError` so callers that predate the dedicated class
+    keep working.
+    """
+
+
+class CheckError(ReproError):
+    """The invariant-checking subsystem could not run a check.
+
+    Distinct from a check *failing* — violations are data
+    (:class:`repro.check.registry.Violation`), not exceptions.
+    """

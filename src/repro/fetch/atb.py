@@ -81,6 +81,21 @@ class ATB:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    # ------------------------------------------------- introspection
+    # Read-only views for invariant checks and property tests; they
+    # expose structure without leaking the mutable buckets.
+    def set_index(self, block_id: int) -> int:
+        """Which set a block maps to."""
+        return block_id & (self.num_sets - 1)
+
+    def set_sizes(self) -> list[int]:
+        """Current occupancy of every set (each must stay <= ways)."""
+        return [len(bucket) for bucket in self._sets]
+
+    def lru_order(self, set_index: int) -> list[int]:
+        """Resident block ids of one set, least-recently-used first."""
+        return list(self._sets[set_index])
+
 
 def _bits_for(value: int) -> int:
     """Bits to represent values in [0, value]."""

@@ -6,7 +6,14 @@ buffer is organized as a small fully associative cache ...  The size of
 the L0 buffer was set at 32 op entries (160 bytes)."
 
 The buffer holds whole decompressed blocks (fully associative by block,
-LRU).  Blocks larger than the capacity cannot reside and always miss.
+LRU).  Blocks larger than the capacity cannot reside and always miss:
+every revisit charges a fresh miss and goes to the L1, exactly as the
+hardware would re-decompress a block that cannot fit.  That rejection is
+*accounted*, not silent — ``install`` reports whether the block was
+placed and ``oversized_rejects`` counts the refusals — and the flattened
+kernel (``repro.fetch.kernel``) charges identical hit/miss counts and
+Table 1 costs for the oversized path (pinned by
+``tests/test_kernel_differential.py``).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ class L0Buffer:
         self._used_ops = 0
         self.hits = 0
         self.misses = 0
+        self.oversized_rejects = 0
 
     def access(self, block_id: int, op_count: int) -> bool:
         """Probe for a block; on miss, install it (evicting LRU blocks)."""
@@ -39,10 +47,16 @@ class L0Buffer:
         self.install(block_id, op_count)
         return False
 
-    def install(self, block_id: int, op_count: int) -> None:
-        """Place a freshly decompressed block (no-op if it cannot fit)."""
+    def install(self, block_id: int, op_count: int) -> bool:
+        """Place a freshly decompressed block (evicting LRU blocks).
+
+        Returns ``False`` — and counts the rejection — for a block
+        larger than the whole buffer: it can never reside, so every
+        revisit will miss again by design.
+        """
         if op_count > self.capacity_ops:
-            return
+            self.oversized_rejects += 1
+            return False
         if block_id in self._blocks:
             self._used_ops -= self._blocks.pop(block_id)
         while self._used_ops + op_count > self.capacity_ops:
@@ -50,6 +64,7 @@ class L0Buffer:
             self._used_ops -= self._blocks.pop(lru)
         self._blocks[block_id] = op_count
         self._used_ops += op_count
+        return True
 
     @property
     def accesses(self) -> int:

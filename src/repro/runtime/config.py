@@ -22,12 +22,23 @@ from __future__ import annotations
 
 import os
 import pathlib
+import warnings
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import List, Optional
 
 _FALSEY = {"0", "false", "off", "no"}
+_TRUTHY = {"1", "true", "on", "yes", ""}
 
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+_warned: set = set()
+
+
+def _warn_once(message: str) -> None:
+    if message in _warned:
+        return
+    _warned.add(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -40,9 +51,48 @@ class RuntimeConfig:
     jobs: int = 1
 
 
-def config_from_env(environ=None) -> RuntimeConfig:
-    """Build a :class:`RuntimeConfig` from environment variables."""
+def environment_problems(environ=None) -> List[str]:
+    """Complaints about malformed ``REPRO_*`` values (empty = all good).
+
+    The CLI treats any entry here as a :class:`ConfigurationError` (exit
+    code 2); :func:`config_from_env` merely warns once per problem and
+    falls back to the documented default, so library use keeps working.
+    """
     env = os.environ if environ is None else environ
+    problems: List[str] = []
+    cache = env.get("REPRO_CACHE")
+    if cache is not None:
+        value = cache.strip().lower()
+        if value not in _FALSEY and value not in _TRUTHY:
+            choices = sorted((_FALSEY | _TRUTHY) - {""})
+            problems.append(
+                f"REPRO_CACHE={cache!r} is not a recognised switch "
+                f"(expected one of: {', '.join(choices)})"
+            )
+    for name, minimum in (("REPRO_CACHE_MAX_BYTES", 0), ("REPRO_JOBS", 1)):
+        raw = env.get(name)
+        if raw is None:
+            continue
+        try:
+            value = int(raw)
+        except ValueError:
+            problems.append(f"{name}={raw!r} is not an integer")
+            continue
+        if value < minimum:
+            problems.append(f"{name}={raw!r} must be >= {minimum}")
+    return problems
+
+
+def config_from_env(environ=None) -> RuntimeConfig:
+    """Build a :class:`RuntimeConfig` from environment variables.
+
+    Malformed values warn once (:class:`RuntimeWarning`) and fall back
+    to their defaults; use :func:`environment_problems` to reject them
+    outright, as the CLI does.
+    """
+    env = os.environ if environ is None else environ
+    for problem in environment_problems(env):
+        _warn_once(f"{problem}; using the default")
     enabled = env.get("REPRO_CACHE", "1").strip().lower() not in _FALSEY
     cache_dir = pathlib.Path(
         env.get("REPRO_CACHE_DIR")
@@ -50,6 +100,8 @@ def config_from_env(environ=None) -> RuntimeConfig:
     )
     try:
         max_bytes = int(env.get("REPRO_CACHE_MAX_BYTES", DEFAULT_MAX_BYTES))
+        if max_bytes < 0:
+            max_bytes = DEFAULT_MAX_BYTES
     except ValueError:
         max_bytes = DEFAULT_MAX_BYTES
     try:

@@ -9,7 +9,7 @@ with one coherent :class:`RuntimeReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.utils.tables import format_table
 
@@ -24,6 +24,7 @@ class StageMetrics:
     stage: str
     hits: int = 0
     misses: int = 0
+    errors: int = 0
     seconds: float = 0.0
     bytes_read: int = 0
     bytes_written: int = 0
@@ -40,6 +41,7 @@ class StageMetrics:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "errors": self.errors,
             "seconds": self.seconds,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
@@ -51,6 +53,9 @@ class RuntimeReport:
     """Aggregated stage metrics for one run (mergeable across processes)."""
 
     stages: Dict[str, StageMetrics] = field(default_factory=dict)
+    #: Task failures: ``{"stage", "task_id", "error"}`` per failed task,
+    #: where ``error`` is the worker's formatted traceback.
+    failures: List[dict] = field(default_factory=list)
 
     def stage(self, name: str) -> StageMetrics:
         if name not in self.stages:
@@ -75,6 +80,15 @@ class RuntimeReport:
         metrics.bytes_read += bytes_read
         metrics.bytes_written += bytes_written
 
+    def record_failure(
+        self, stage: str, task_id: str, error: str
+    ) -> None:
+        """Count a task failure against its stage and keep the traceback."""
+        self.stage(stage).errors += 1
+        self.failures.append(
+            {"stage": stage, "task_id": task_id, "error": error}
+        )
+
     # ------------------------------------------------------- aggregates
     @property
     def total_hits(self) -> int:
@@ -83,6 +97,10 @@ class RuntimeReport:
     @property
     def total_misses(self) -> int:
         return sum(m.misses for m in self.stages.values())
+
+    @property
+    def total_errors(self) -> int:
+        return sum(m.errors for m in self.stages.values())
 
     def _ordered(self):
         known = [s for s in STAGE_ORDER if s in self.stages]
@@ -135,9 +153,11 @@ class RuntimeReport:
     def to_json(self) -> dict:
         return {
             "stages": {m.stage: m.as_dict() for m in self._ordered()},
+            "failures": list(self.failures),
             "totals": {
                 "hits": self.total_hits,
                 "misses": self.total_misses,
+                "errors": self.total_errors,
                 "seconds": sum(m.seconds for m in self.stages.values()),
             },
         }
@@ -148,12 +168,15 @@ class RuntimeReport:
             metrics = self.stage(name)
             metrics.hits += int(counters.get("hits", 0))
             metrics.misses += int(counters.get("misses", 0))
+            metrics.errors += int(counters.get("errors", 0))
             metrics.seconds += float(counters.get("seconds", 0.0))
             metrics.bytes_read += int(counters.get("bytes_read", 0))
             metrics.bytes_written += int(counters.get("bytes_written", 0))
+        self.failures.extend((payload or {}).get("failures", ()))
 
     def reset(self) -> None:
         self.stages.clear()
+        self.failures.clear()
 
 
 #: Process-global collector.

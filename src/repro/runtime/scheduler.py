@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulerError
 from repro.runtime.config import (
     RuntimeConfig,
     runtime_config,
@@ -61,7 +61,12 @@ def _worker_init(config: RuntimeConfig) -> None:
 
 
 def _pool_run(spec: TaskSpec) -> TaskResult:
-    """Worker-side task body: execute, then ship the metric deltas home."""
+    """Worker-side task body: execute, then ship the metric deltas home.
+
+    A failing task must never be swallowed into a silent wrong result:
+    the full worker traceback rides home in ``TaskResult.error`` and the
+    parent re-raises it as a :class:`SchedulerError`.
+    """
     reset_metrics()
     started = perf_counter()
     try:
@@ -72,7 +77,7 @@ def _pool_run(spec: TaskSpec) -> TaskResult:
             spec.stage,
             perf_counter() - started,
             ok=False,
-            error=traceback.format_exc(limit=8),
+            error=traceback.format_exc(),
         )
     return TaskResult(
         spec.task_id,
@@ -84,7 +89,15 @@ def _pool_run(spec: TaskSpec) -> TaskResult:
 
 def _inline_run(spec: TaskSpec) -> TaskResult:
     started = perf_counter()
-    execute_task(spec)  # records directly into the global REPORT
+    try:
+        execute_task(spec)  # records directly into the global REPORT
+    except Exception as exc:
+        REPORT.record_failure(
+            spec.stage, spec.task_id, traceback.format_exc()
+        )
+        raise SchedulerError(
+            f"task {spec.task_id} ({spec.stage}) failed: {exc}"
+        ) from exc
     return TaskResult(spec.task_id, spec.stage, perf_counter() - started)
 
 
@@ -96,9 +109,11 @@ def execute_graph(
 ) -> List[TaskResult]:
     """Run every task of ``graph``, respecting dependencies.
 
-    Raises :class:`RuntimeError` if any task failed (after draining
-    in-flight work); partial artifacts already persisted stay valid —
-    content addressing makes re-runs pick them up.
+    Raises :class:`SchedulerError` if any task failed (after draining
+    in-flight work), carrying the real worker traceback and recording
+    the failure against the stage in :data:`REPORT`; partial artifacts
+    already persisted stay valid — content addressing makes re-runs pick
+    them up.
     """
     if config is None:
         config = runtime_config()
@@ -149,8 +164,12 @@ def execute_graph(
                 submit_ready()
     if failed:
         errors = [r for r in results if not r.ok]
+        for result in errors:
+            REPORT.record_failure(
+                result.stage, result.task_id, result.error or ""
+            )
         detail = errors[0].error or ""
-        raise RuntimeError(
+        raise SchedulerError(
             f"{len(errors)} task(s) failed, first: {errors[0].task_id}\n"
             f"{detail}"
         )

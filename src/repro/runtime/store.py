@@ -2,22 +2,31 @@
 
 Entries live under ``<root>/objects/<aa>/<digest>.pkl`` where ``aa`` is
 the first digest byte (keeps directories small).  Each file is a
-versioned pickle *envelope* — ``{magic, version, digest, payload}`` — so
-a reader can reject foreign files, stale formats, and entries filed
-under the wrong name.  Guarantees:
+versioned pickle *envelope* — ``{magic, version, digest, sha256,
+payload}`` where ``payload`` is the separately-pickled artifact and
+``sha256`` its checksum — so a reader can reject foreign files, stale
+formats, entries filed under the wrong name, and payload bytes that were
+damaged in place.  Guarantees:
 
 * **atomic writes** — payloads are staged to a temp file in the same
   directory and ``os.replace``d into place, so readers never observe a
   half-written entry even with concurrent writers;
 * **corruption tolerance** — any failure to read/unpickle/validate an
   entry is a cache *miss* (the bad file is unlinked best-effort), never
-  an exception: a truncated cache must only ever cost a recompute;
+  an exception *or a wrong artifact*: a flipped bit inside the payload
+  fails the checksum instead of silently unpickling to a different
+  value, so a damaged cache can only ever cost a recompute;
+* **concurrent-evictor safety** — every window in which another process
+  can unlink or replace an entry (between open/read/validate/touch) is
+  a clean miss, and a corrupt entry is only dropped if it is still the
+  same file that was read (never a just-rewritten good entry);
 * **LRU size cap** — entry mtimes are refreshed on hit, and writes evict
   least-recently-used entries until the store fits ``max_bytes``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pathlib
 import pickle
@@ -28,7 +37,9 @@ from typing import Optional, Tuple
 from repro.runtime.config import runtime_config
 
 ENVELOPE_MAGIC = "repro-artifact"
-ENVELOPE_VERSION = 1
+#: Version 2 added the payload checksum (``sha256`` over the pickled
+#: payload bytes); version-1 entries read as misses and recompute.
+ENVELOPE_VERSION = 2
 
 #: Distinguishes "cached None" from "not cached".
 MISS = object()
@@ -61,24 +72,40 @@ class ArtifactStore:
         return self._objects / digest[:2] / f"{digest}.pkl"
 
     def _iter_entries(self):
-        if not self._objects.is_dir():
+        # Every directory operation tolerates a concurrent evictor or
+        # ``clear()`` racing with the walk: a vanished shard or entry is
+        # simply skipped.
+        try:
+            shards = list(self._objects.iterdir())
+        except OSError:
             return
-        for shard in self._objects.iterdir():
-            if not shard.is_dir():
+        for shard in shards:
+            try:
+                if not shard.is_dir():
+                    continue
+                entries = list(shard.glob("*.pkl"))
+            except OSError:
                 continue
-            for path in shard.glob("*.pkl"):
+            for path in entries:
                 yield path
 
     # -------------------------------------------------------- get / put
     def get(self, digest: str):
         """The payload for ``digest``, or :data:`MISS`.
 
-        Never raises on a bad entry: unreadable, truncated, or
-        mismatched files are dropped and reported as misses.
+        Never raises on a bad entry: unreadable, truncated, checksum-
+        mismatched, or misfiled entries are dropped and reported as
+        misses.  A concurrent evictor unlinking (or a writer replacing)
+        the file at any point is also a clean miss.
         """
         path = self.path_for(digest)
+        inode = None
         try:
             with open(path, "rb") as fh:
+                try:
+                    inode = os.fstat(fh.fileno()).st_ino
+                except OSError:
+                    inode = None
                 envelope = pickle.load(fh)
             if (
                 not isinstance(envelope, dict)
@@ -87,14 +114,19 @@ class ArtifactStore:
                 or envelope.get("digest") != digest
             ):
                 raise ValueError("bad envelope")
-            payload = envelope["payload"]
+            blob = envelope["payload"]
+            if not isinstance(blob, bytes):
+                raise ValueError("payload is not a byte string")
+            if hashlib.sha256(blob).hexdigest() != envelope.get("sha256"):
+                raise ValueError("payload checksum mismatch")
+            payload = pickle.loads(blob)
         except FileNotFoundError:
             return MISS
         except Exception:
-            self._discard(path)
+            self._discard_if_unchanged(path, inode)
             return MISS
         try:
-            os.utime(path)  # refresh LRU recency
+            os.utime(path)  # refresh LRU recency (entry may be evicted)
         except OSError:
             pass
         return payload
@@ -110,11 +142,15 @@ class ArtifactStore:
         """Persist ``payload`` under ``digest`` atomically; bytes written."""
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload_blob = pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
         envelope = {
             "magic": ENVELOPE_MAGIC,
             "version": ENVELOPE_VERSION,
             "digest": digest,
-            "payload": payload,
+            "sha256": hashlib.sha256(payload_blob).hexdigest(),
+            "payload": payload_blob,
         }
         blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         fd, tmp_name = tempfile.mkstemp(
@@ -136,6 +172,27 @@ class ArtifactStore:
             path.unlink()
         except OSError:
             pass
+
+    def _discard_if_unchanged(
+        self, path: pathlib.Path, inode: Optional[int]
+    ) -> None:
+        """Drop a corrupt entry only if it is still the file we read.
+
+        Between a failed read and the unlink, a concurrent writer may
+        have replaced the entry with a good one (``put`` is an atomic
+        ``os.replace``); unlinking then would destroy a valid artifact.
+        The inode recorded at open time identifies the file actually
+        read — if it no longer matches (or was never captured), leave
+        the path alone.
+        """
+        if inode is None:
+            return
+        try:
+            if os.stat(path).st_ino != inode:
+                return
+        except OSError:
+            return  # already gone: nothing to drop
+        self._discard(path)
 
     def _evict_to_cap(self, keep: Optional[pathlib.Path] = None) -> None:
         """Drop least-recently-used entries until under ``max_bytes``.

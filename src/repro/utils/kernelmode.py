@@ -6,8 +6,14 @@ kernels are proven bit-identical to the references by the differential
 tests in ``tests/test_kernel_differential.py``; the environment variable
 ``REPRO_KERNEL`` selects which one runs:
 
-* unset, ``kernel`` (or anything else) — the fast kernels;
-* ``ref`` / ``reference`` — the retained reference paths.
+* unset, ``kernel`` / ``1`` / ``on`` — the fast kernels;
+* ``ref`` / ``reference`` / ``0`` — the retained reference paths.
+
+Any other value is *rejected* by the CLI (exit code 2) and triggers a
+one-time :class:`RuntimeWarning` on the library path before defaulting
+to the kernels — a typo like ``REPRO_KERNEL=refrence`` used to silently
+select the kernels, which is exactly the wrong default for someone
+trying to cross-check them.
 
 The switch is read at each dispatch point (not import time) so a single
 process can compare both paths — that is exactly what the differential
@@ -17,6 +23,8 @@ tests and ``repro bench`` do.
 from __future__ import annotations
 
 import os
+import warnings
+from typing import Optional
 
 #: Environment variable naming the active implementation.
 KERNEL_ENV = "REPRO_KERNEL"
@@ -24,10 +32,42 @@ KERNEL_ENV = "REPRO_KERNEL"
 #: Values of :data:`KERNEL_ENV` that select the reference paths.
 _REFERENCE_VALUES = frozenset({"ref", "reference", "0"})
 
+#: Values of :data:`KERNEL_ENV` that (redundantly) select the kernels.
+_KERNEL_VALUES = frozenset({"kernel", "1", "on", ""})
+
+_warned_values: set = set()
+
+
+def kernel_env_problem(environ=None) -> Optional[str]:
+    """A human-readable complaint about ``REPRO_KERNEL``, or ``None``.
+
+    The CLI refuses to start when this returns a message; the library
+    (:func:`kernel_enabled`) merely warns once and keeps the default.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(KERNEL_ENV)
+    if raw is None:
+        return None
+    value = raw.strip().lower()
+    if value in _REFERENCE_VALUES or value in _KERNEL_VALUES:
+        return None
+    choices = sorted((_REFERENCE_VALUES | _KERNEL_VALUES) - {""})
+    return (
+        f"{KERNEL_ENV}={raw!r} is not a recognised implementation "
+        f"selector (expected one of: {', '.join(choices)})"
+    )
+
 
 def kernel_enabled() -> bool:
     """Should the fast kernels run?  (``REPRO_KERNEL=ref`` disables them.)"""
-    return (
-        os.environ.get(KERNEL_ENV, "kernel").strip().lower()
-        not in _REFERENCE_VALUES
-    )
+    value = os.environ.get(KERNEL_ENV, "kernel").strip().lower()
+    if value in _REFERENCE_VALUES:
+        return False
+    if value not in _KERNEL_VALUES and value not in _warned_values:
+        _warned_values.add(value)
+        warnings.warn(
+            f"{kernel_env_problem()}; defaulting to the fast kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return True

@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the ATB (set-assoc LRU + predictors).
+
+Three properties the fetch simulation silently relies on:
+
+* per-set occupancy never exceeds the associativity;
+* the per-set eviction order is exactly LRU (checked against an
+  independent shadow model);
+* an entry that was evicted and re-faulted starts with *fresh* predictor
+  state — the paper's coupling where an ATB eviction loses prediction
+  history.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fetch.atb import ATB
+from repro.fetch.branch_predict import BlockPredictor
+
+GEOMETRIES = [(8, 2), (8, 4), (16, 4), (32, 8)]
+
+access_streams = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=0, max_size=300
+)
+
+
+def shadow_model(entries, ways, stream):
+    """Independent LRU model: per-set lists, LRU first."""
+    num_sets = entries // ways
+    sets = [[] for _ in range(num_sets)]
+    for block_id in stream:
+        bucket = sets[block_id & (num_sets - 1)]
+        if block_id in bucket:
+            bucket.remove(block_id)
+        elif len(bucket) >= ways:
+            bucket.pop(0)
+        bucket.append(block_id)
+    return sets
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=access_streams, geometry=st.sampled_from(GEOMETRIES))
+def test_occupancy_never_exceeds_ways(stream, geometry):
+    entries, ways = geometry
+    atb = ATB(entries, ways)
+    for block_id in stream:
+        atb.access(block_id)
+        assert all(size <= ways for size in atb.set_sizes())
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=access_streams, geometry=st.sampled_from(GEOMETRIES))
+def test_lru_order_matches_shadow_model(stream, geometry):
+    entries, ways = geometry
+    atb = ATB(entries, ways)
+    for block_id in stream:
+        atb.access(block_id)
+    expected = shadow_model(entries, ways, stream)
+    actual = [atb.lru_order(s) for s in range(atb.num_sets)]
+    assert actual == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=access_streams, geometry=st.sampled_from(GEOMETRIES))
+def test_counters_balance(stream, geometry):
+    entries, ways = geometry
+    atb = ATB(entries, ways)
+    for block_id in stream:
+        atb.access(block_id)
+    assert atb.hits + atb.misses == atb.accesses == len(stream)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counter_nudges=st.integers(min_value=1, max_value=3),
+    geometry=st.sampled_from(GEOMETRIES),
+)
+def test_refaulted_entry_starts_with_fresh_predictor_state(
+    counter_nudges, geometry
+):
+    """Eviction loses prediction history; a re-fault starts over."""
+    entries, ways = geometry
+    atb = ATB(entries, ways)
+    num_sets = atb.num_sets
+    victim = 0
+    entry, hit = atb.access(victim)
+    assert not hit
+    # Train the predictor away from its initial state.
+    fresh = BlockPredictor()
+    for _ in range(counter_nudges):
+        entry.predictor.counter = min(3, entry.predictor.counter + 1)
+    entry.predictor.last_target = 42
+    trained_counter = entry.predictor.counter
+    assert (
+        trained_counter != fresh.counter
+        or entry.predictor.last_target != fresh.last_target
+    )
+    # Evict the victim by touching `ways` conflicting blocks (same set).
+    for i in range(1, ways + 1):
+        atb.access(victim + i * num_sets)
+    assert victim not in atb.lru_order(atb.set_index(victim))
+    # Re-fault: the entry must carry none of the trained state.
+    refaulted, hit = atb.access(victim)
+    assert not hit
+    assert refaulted.predictor.counter == fresh.counter
+    assert refaulted.predictor.last_target == fresh.last_target
+    assert refaulted.predictor is not entry.predictor

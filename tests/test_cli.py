@@ -162,6 +162,129 @@ def test_run_with_jobs_prewarms_in_parallel(capsys, fresh_cache):
     assert payload["runtime"]["totals"]["hits"] > 0
 
 
+class TestInvocationValidation:
+    """Bad flags and malformed REPRO_* values fail fast with exit 2."""
+
+    def test_jobs_zero_rejected(self, capsys):
+        assert main(["run", "fig5", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err and "0" in err
+
+    def test_jobs_negative_rejected(self, capsys):
+        assert main(["suite", "--jobs", "-3"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_malformed_repro_kernel_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "refrence")
+        assert main(["list"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_KERNEL" in err and "refrence" in err
+
+    def test_valid_repro_kernel_values_accepted(
+        self, capsys, monkeypatch
+    ):
+        for value in ("ref", "reference", "kernel", "0", "1"):
+            monkeypatch.setenv("REPRO_KERNEL", value)
+            assert main(["list"]) == 0
+            capsys.readouterr()
+
+    def test_malformed_repro_jobs_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert main(["list"]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_malformed_repro_cache_rejected(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "maybe")
+        assert main(["list"]) == 2
+        assert "REPRO_CACHE" in capsys.readouterr().err
+
+    def test_negative_repro_cache_max_bytes_rejected(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "-5")
+        assert main(["list"]) == 2
+        assert "REPRO_CACHE_MAX_BYTES" in capsys.readouterr().err
+
+    def test_library_path_warns_once_and_defaults(self, monkeypatch):
+        import warnings
+
+        from repro.runtime.config import config_from_env
+
+        config = None
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = config_from_env({"REPRO_JOBS": "many"})
+        assert config.jobs == 1
+        assert any(
+            "REPRO_JOBS" in str(w.message) for w in caught
+        )
+
+    def test_kernel_enabled_warns_on_unknown_value(self, monkeypatch):
+        import warnings
+
+        from repro.utils import kernelmode
+
+        monkeypatch.setenv("REPRO_KERNEL", "turbo-mode")
+        monkeypatch.setattr(kernelmode, "_warned_values", set())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert kernelmode.kernel_enabled() is True  # defaults on
+        assert any(
+            "REPRO_KERNEL" in str(w.message) for w in caught
+        )
+
+
+class TestCheckCommand:
+    def test_check_quick_passes_and_reports(self, capsys):
+        assert main(
+            ["check", "--quick", "--benchmarks", "compress",
+             "--scale", "2", "--seed", "1999"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Invariant report" in captured.out
+        assert "huffman-roundtrip" in captured.out
+        assert "store-race" in captured.out
+        assert "invariant(s) hold" in captured.out
+
+    def test_check_json_payload(self, capsys):
+        assert main(
+            ["check", "--quick", "--benchmarks", "compress",
+             "--scale", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["mode"] == "quick"
+        names = [i["name"] for i in payload["invariants"]]
+        assert "fetch-conservation" in names
+        assert "store-bitflip" in names
+
+    def test_check_seeded_violation_exits_nonzero_naming_it(
+        self, capsys
+    ):
+        assert main(
+            ["check", "--quick", "--benchmarks", "compress",
+             "--scale", "2", "--inject", "conservation"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "fetch-conservation" in captured.err
+        assert "FAIL" in captured.out
+
+    def test_check_inject_roundtrip(self, capsys):
+        assert main(
+            ["check", "--quick", "--benchmarks", "compress",
+             "--scale", "2", "--inject", "roundtrip"]
+        ) == 1
+        assert "huffman-roundtrip" in capsys.readouterr().err
+
+    def test_check_unknown_benchmark_exits_two(self, capsys):
+        assert main(["check", "--benchmarks", "warp-drive"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_check_quick_and_full_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--quick", "--full"])
+
+
 def test_bench_list(capsys):
     assert main(["bench", "--list"]) == 0
     out = capsys.readouterr().out

@@ -4,7 +4,8 @@ import pytest
 
 from repro import runtime
 from repro.core.study import clear_caches, study_for
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SchedulerError
+from repro.runtime.metrics import REPORT, reset_metrics
 from repro.runtime.scheduler import execute_graph, prewarm
 from repro.runtime.tasks import (
     TaskSpec,
@@ -170,3 +171,66 @@ class TestExecution:
         }
         with pytest.raises(RuntimeError):
             execute_graph(graph, jobs=2)
+
+
+class TestFailureSurfacing:
+    """Regression: a worker failure must carry its real traceback home,
+    not vanish into a bare 'task failed' message."""
+
+    def test_pool_failure_surfaces_worker_traceback(self, fresh_cache):
+        reset_metrics()
+        graph = {
+            "bad": TaskSpec("bad", "compile", "no-such-benchmark", 2),
+        }
+        with pytest.raises(SchedulerError) as excinfo:
+            execute_graph(graph, jobs=2)
+        message = str(excinfo.value)
+        # The worker's formatted traceback rides home in the message.
+        assert "Traceback" in message
+        assert "no-such-benchmark" in message
+
+    def test_pool_failure_recorded_in_runtime_report(self, fresh_cache):
+        reset_metrics()
+        graph = {
+            "bad": TaskSpec("bad", "compile", "no-such-benchmark", 2),
+        }
+        with pytest.raises(SchedulerError):
+            execute_graph(graph, jobs=2)
+        assert REPORT.stage("compile").errors == 1
+        assert REPORT.total_errors == 1
+        failure = REPORT.failures[0]
+        assert failure["stage"] == "compile"
+        assert failure["task_id"] == "bad"
+        assert "Traceback" in failure["error"]
+        assert REPORT.to_json()["totals"]["errors"] == 1
+
+    def test_inline_failure_chains_the_original_exception(
+        self, fresh_cache
+    ):
+        reset_metrics()
+        graph = {
+            "bad": TaskSpec("bad", "compile", "no-such-benchmark", 2),
+        }
+        with pytest.raises(SchedulerError) as excinfo:
+            execute_graph(graph, jobs=1)
+        assert isinstance(excinfo.value.__cause__, ConfigurationError)
+        assert REPORT.stage("compile").errors == 1
+        assert "bad" in str(excinfo.value)
+
+    def test_scheduler_error_is_both_repro_and_runtime_error(self):
+        # Callers that predate the dedicated class catch RuntimeError.
+        assert issubclass(SchedulerError, ReproError)
+        assert issubclass(SchedulerError, RuntimeError)
+
+    def test_worker_failures_merge_across_processes(self, fresh_cache):
+        reset_metrics()
+        graph = {
+            "bad-1": TaskSpec("bad-1", "compile", "no-such-benchmark", 2),
+            "bad-2": TaskSpec("bad-2", "trace", "also-missing", 2),
+        }
+        with pytest.raises(SchedulerError, match="2 task"):
+            execute_graph(graph, jobs=2)
+        assert REPORT.total_errors == 2
+        assert {f["stage"] for f in REPORT.failures} == {
+            "compile", "trace",
+        }

@@ -109,6 +109,157 @@ class TestCorruptionTolerance:
         store.put(DIGEST, "recomputed")
         assert store.get(DIGEST) == "recomputed"
 
+    def test_bit_flip_in_payload_is_a_miss_not_a_wrong_artifact(
+        self, store
+    ):
+        """Regression: in-place payload damage must fail the checksum.
+
+        Under envelope v1 only the digest key was validated, so a
+        flipped byte deep inside the pickled payload could silently
+        unpickle to a *different* value — the one corruption worse than
+        a crash.  The v2 payload checksum turns it into a clean miss.
+        """
+        store.put(DIGEST, "A" * 2048)
+        path = store.path_for(DIGEST)
+        blob = bytearray(path.read_bytes())
+        position = bytes(blob).find(b"AAAAAAAA") + 4
+        assert position >= 4, "payload bytes not found in envelope"
+        blob[position] ^= 0x03  # 'A' -> 'B'
+        path.write_bytes(bytes(blob))
+        assert store.get(DIGEST) is MISS
+        assert not path.exists()  # the damaged entry was dropped
+
+    def test_v1_envelope_without_checksum_is_a_miss(self, store):
+        """Entries from the pre-checksum format recompute cleanly."""
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": ENVELOPE_MAGIC,
+                    "version": 1,
+                    "digest": DIGEST,
+                    "payload": "raw object, no checksum",
+                }
+            )
+        )
+        assert store.get(DIGEST) is MISS
+
+    def test_checksum_over_wrong_payload_is_a_miss(self, store):
+        """A forged envelope whose sha256 doesn't match the payload."""
+        import hashlib
+
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        payload_blob = pickle.dumps("evil twin")
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": ENVELOPE_MAGIC,
+                    "version": ENVELOPE_VERSION,
+                    "digest": DIGEST,
+                    "sha256": hashlib.sha256(b"other bytes").hexdigest(),
+                    "payload": payload_blob,
+                }
+            )
+        )
+        assert store.get(DIGEST) is MISS
+
+
+class TestConcurrencySafety:
+    """Race windows must degrade to misses, never lose good entries."""
+
+    def test_corrupt_read_spares_a_concurrently_replaced_entry(
+        self, store
+    ):
+        """Regression for the read/discard TOCTOU window.
+
+        A reader that opened a corrupt entry used to unlink the *path*
+        after the failed parse — destroying a good entry a concurrent
+        writer had just renamed into place.  The discard is now guarded
+        by the inode captured at open time.
+        """
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"corrupt garbage")
+        corrupt_inode = os.stat(path).st_ino
+        # A concurrent writer replaces the entry before the reader gets
+        # around to discarding what it read.
+        store.put(DIGEST, "freshly recomputed")
+        assert os.stat(path).st_ino != corrupt_inode
+        store._discard_if_unchanged(path, corrupt_inode)
+        assert store.get(DIGEST) == "freshly recomputed"
+
+    def test_discard_if_unchanged_drops_the_file_it_read(self, store):
+        path = store.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"corrupt garbage")
+        store._discard_if_unchanged(path, os.stat(path).st_ino)
+        assert not path.exists()
+
+    def test_discard_without_inode_leaves_the_entry_alone(self, store):
+        store.put(DIGEST, "value")
+        store._discard_if_unchanged(store.path_for(DIGEST), None)
+        assert store.get(DIGEST) == "value"
+
+    def test_get_tolerates_entry_vanishing_after_validation(
+        self, store, monkeypatch
+    ):
+        """An evictor unlinking between read and the LRU touch."""
+        store.put(DIGEST, "value")
+        real_utime = os.utime
+
+        def vanish_then_touch(path, *args, **kwargs):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return real_utime(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "utime", vanish_then_touch)
+        # The payload was already read; the failed touch must not raise.
+        assert store.get(DIGEST) == "value"
+        assert store.get(DIGEST) is MISS  # and it really is gone
+
+    def test_multiprocess_writers_evictor_readers(self, tmp_path):
+        """Stress the real race: every read is a miss or the true value."""
+        import multiprocessing
+
+        from repro.check.faults import (
+            _payload_for,
+            _race_evictor,
+            _race_reader,
+            _race_writer,
+        )
+
+        root = str(tmp_path / "race")
+        digests = [f"{i:02x}" + "f" * 62 for i in range(4)]
+        entry = len(pickle.dumps(_payload_for(digests[0]))) + 256
+        seconds = 0.4
+        processes = [
+            multiprocessing.Process(
+                target=_race_writer,
+                args=(root, 2 * entry, digests, seconds),
+            ),
+            multiprocessing.Process(
+                target=_race_evictor, args=(root, digests, seconds)
+            ),
+            multiprocessing.Process(
+                target=_race_reader, args=(root, digests, seconds)
+            ),
+            multiprocessing.Process(
+                target=_race_reader, args=(root, digests, seconds)
+            ),
+        ]
+        for p in processes:
+            p.start()
+        for p in processes:
+            p.join(timeout=30.0)
+        codes = [p.exitcode for p in processes]
+        assert codes == [0, 0, 0, 0], (
+            "3=wrong artifact observed, 4=reader raised: %r" % codes
+        )
+
 
 class TestLRUCap:
     def test_eviction_drops_least_recently_used(self, tmp_path):
