@@ -15,8 +15,17 @@ pytest.importorskip("pytest_benchmark")
 
 from repro.bench import BY_NAME
 
-_MICRO = ("bitstream_roundtrip", "huffman_encode", "huffman_decode")
-_MACRO = ("fetch_replay_base", "fetch_replay_compressed")
+_MICRO = (
+    "bitstream_roundtrip",
+    "huffman_encode",
+    "huffman_decode",
+    "emulate_trace_micro",
+)
+_MACRO = (
+    "fetch_replay_base",
+    "fetch_replay_compressed",
+    "emulate_trace_macro",
+)
 
 
 def _run(benchmark, name, path):

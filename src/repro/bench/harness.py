@@ -140,6 +140,8 @@ def summarize(results: Sequence[BenchResult]) -> Dict[str, Any]:
     for result in results:
         if result.name == "bitstream_roundtrip":
             summary["bitstream_speedup"] = round(result.speedup, 2)
+        elif result.name == "emulate_trace_macro":
+            summary["emulate_trace_speedup"] = round(result.speedup, 2)
     return summary
 
 

@@ -1,15 +1,17 @@
 """The named benchmarks behind ``repro bench``.
 
-Micro benchmarks isolate the two kernelized primitives (bit packing and
-canonical Huffman decode); macro benchmarks replay a real study trace
-through the flattened fetch kernel against the reference engine, plus an
-end-to-end Figure 13 row.  Workloads are seeded, so two runs on one
-machine measure the same work.
+Micro benchmarks isolate the kernelized primitives (bit packing,
+canonical Huffman decode, and threaded-code emulation of a synthetic
+op-soup loop); macro benchmarks run real study workloads — replaying the
+trace through the flattened fetch kernel, generating the trace with the
+threaded-code emulator, and an end-to-end Figure 13 row.  Workloads are
+seeded, so two runs on one machine measure the same work.
 
 Both implementations are named explicitly (``BitWriter`` vs
 ``ReferenceBitWriter``, ``simulate_fetch_kernel`` vs
-``simulate_fetch_reference``), so the measurements are independent of
-the ambient ``REPRO_KERNEL`` setting.
+``simulate_fetch_reference``, ``run_image_kernel`` vs ``run_image``), so
+the measurements are independent of the ambient ``REPRO_KERNEL``
+setting.
 """
 
 from __future__ import annotations
@@ -145,6 +147,147 @@ def _fetch_describe(workload) -> Dict[str, Any]:
     }
 
 
+# -------------------------------------------------------- emulation
+def _emulate_micro_image(iterations: int):
+    """A synthetic op-soup loop touching every execution path the
+    threaded-code kernel specializes: int/fp/compare/memory ops,
+    predicated moves (via ``select``) and a call/ret pair."""
+    from repro.compiler import compile_module
+    from repro.compiler.builder import ModuleBuilder
+
+    mb = ModuleBuilder("emubench")
+    mb.global_array("buf", words=64)
+    mb.global_array("result", words=1)
+
+    helper = mb.function("mix", num_args=1)
+    hv = helper.arg(0)
+    out = helper.ireg()
+    helper.xori(out, hv, 0x5A5A)
+    helper.srai(out, out, 3)
+    helper.ret(out)
+    helper.done()
+
+    b = mb.function("main", num_args=0)
+    base = b.ireg()
+    b.la(base, "buf")
+    i = b.ireg()
+    b.li(i, 0)
+    acc = b.ireg()
+    b.li(acc, 1)
+    total = b.iconst(iterations)
+    # Loop 1: integer ALU, memory traffic, a call/ret pair and a
+    # predicated select.  (No FP state may live across the call — FP
+    # spill slots cannot be expressed in the baseline encoding.)
+    b.label("iloop")
+    slot = b.ireg()
+    b.modi(slot, i, 64)
+    b.store_index(base, slot, acc)
+    back = b.ireg()
+    b.load_index(back, base, slot)
+    b.mpyi(acc, acc, 1103515245)
+    b.addi(acc, acc, 12345)
+    b.xor(acc, acc, back)
+    mixed = b.ireg()
+    b.call("mix", [acc], ret=mixed)
+    lo = b.ireg()
+    b.andi(lo, mixed, 0xFF)
+    p = b.preg()
+    b.cmpi_gt(p, lo, 127)
+    picked = b.ireg()
+    b.select(picked, p, lo, acc)
+    b.add(acc, acc, picked)
+    b.addi(i, i, 1)
+    pg = b.preg()
+    b.cmp_lt(pg, i, total)
+    b.br_if(pg, "iloop")
+    # Loop 2: the floating-point families.
+    facc = b.freg()
+    seed = b.iconst(3)
+    b.i2f(facc, seed)
+    cap = b.freg()
+    big = b.iconst(65536)
+    b.i2f(cap, big)
+    b.li(i, 0)
+    b.label("floop")
+    fstep = b.freg()
+    step = b.ireg()
+    b.andi(step, i, 0xFF)
+    b.i2f(fstep, step)
+    b.fadd(facc, facc, fstep)
+    b.fmpy(facc, facc, facc)
+    b.fabs_(facc, facc)
+    b.fdiv(facc, facc, cap)
+    b.addi(i, i, 1)
+    pf = b.preg()
+    b.cmp_lt(pf, i, total)
+    b.br_if(pf, "floop")
+    fout = b.ireg()
+    b.f2i(fout, facc)
+    b.xor(acc, acc, fout)
+    outp = b.ireg()
+    b.la(outp, "result")
+    b.store(outp, acc)
+    b.halt()
+    b.done()
+    return compile_module(mb.build())
+
+def _emulate_micro_setup(quick: bool) -> Dict[str, Any]:
+    compiled = _emulate_micro_image(800 if quick else 4_000)
+    return {
+        "image": compiled.image,
+        "globals": compiled.module.globals,
+        "study": "synthetic op-soup loop",
+    }
+
+def _emulate_macro_setup(quick: bool) -> Dict[str, Any]:
+    from repro.core.study import study_for
+
+    scale = _MACRO_SCALE - 2 if quick else _MACRO_SCALE
+    study = study_for(_MACRO_BENCH, scale)
+    return {
+        "image": study.compiled.image,
+        "globals": study.compiled.module.globals,
+        "study": f"{_MACRO_BENCH}@{scale}",
+    }
+
+def _emulate_run(workload, run):
+    return run(workload["image"], workload["globals"])
+
+def _emulate_compare(workload, ref_out, kernel_out) -> bool:
+    # RunResult's dataclass equality compares machines by identity;
+    # the fingerprint covers every field plus the state checksum.
+    return ref_out.fingerprint() == kernel_out.fingerprint()
+
+def _emulate_describe(workload) -> Dict[str, Any]:
+    image = workload["image"]
+    return {
+        "study": workload["study"],
+        "image_blocks": len(image),
+        "static_mops": image.total_mops,
+    }
+
+def _emulate_benchmark(kind: str) -> Benchmark:
+    from repro.emulator.kernel import run_image_kernel
+    from repro.emulator.machine import run_image
+
+    setup = _emulate_micro_setup if kind == "micro" else _emulate_macro_setup
+    what = (
+        "emulate a synthetic all-families op loop"
+        if kind == "micro"
+        else f"generate the full {_MACRO_BENCH} study trace"
+    )
+    return Benchmark(
+        name=f"emulate_trace_{kind}",
+        kind=kind,
+        description=f"{what} (threaded-code kernel vs interpretive loop)",
+        setup=setup,
+        reference=lambda w: _emulate_run(w, run_image),
+        kernel=lambda w: _emulate_run(w, run_image_kernel),
+        compare=_emulate_compare,
+        describe=_emulate_describe,
+    )
+
+
 # --------------------------------------------------------- fig13 e2e
 def _fig13_setup(quick: bool) -> Dict[str, Any]:
     from repro.core.study import study_for
@@ -246,6 +389,8 @@ def _build_benchmarks() -> tuple:
             compare=_huffman_decode_compare,
             describe=_huffman_describe,
         ),
+        _emulate_benchmark("micro"),
+        _emulate_benchmark("macro"),
         _fetch_benchmark("base"),
         _fetch_benchmark("tailored"),
         _fetch_benchmark("compressed"),

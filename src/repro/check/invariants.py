@@ -304,6 +304,53 @@ def _kernel_vs_reference(ctx: CheckContext, rec: Recorder) -> None:
             )
 
 
+# ----------------------------------------------------------- emulator
+@invariant(
+    "emulator-kernel-vs-ref",
+    scope="emulator",
+    description="threaded-code emulator matches the interpretive "
+                "reference on randomized programs and scales",
+)
+def _emulator_kernel_vs_ref(ctx: CheckContext, rec: Recorder) -> None:
+    from repro.emulator.kernel import run_image_kernel
+    from repro.emulator.machine import run_image
+    from repro.programs.suite import compile_benchmark
+
+    scales = (1, 2) if ctx.quick else (1, 2, 3)
+    for benchmark in ctx.benchmarks:
+        rng = ctx.rng(f"emulator-kernel-vs-ref:{benchmark}")
+        scale = rng.choice(scales)
+        compiled = compile_benchmark(benchmark, scale)
+        subject = f"{benchmark}@{scale}"
+        reference = run_image(compiled.image, compiled.module.globals)
+        kernel = run_image_kernel(compiled.image, compiled.module.globals)
+        ref_fp = reference.fingerprint()
+        ker_fp = kernel.fingerprint()
+        # Field-by-field so a violation names what diverged — the
+        # machine digest covers registers, data memory and call stack.
+        for fld, expected in ref_fp.items():
+            rec.expect_equal(ker_fp[fld], expected, subject, fld)
+        # The dynamic-MultiOp budget must abort at the identical point
+        # with the identical message (half the reference's mop count
+        # guarantees both paths trip it mid-run).
+        budget = max(1, reference.dynamic_mops // 2)
+        outcomes = []
+        for runner in (run_image, run_image_kernel):
+            try:
+                runner(
+                    compiled.image,
+                    compiled.module.globals,
+                    max_mops=budget,
+                )
+                outcomes.append("no error")
+            except Exception as exc:  # noqa: BLE001 — compared verbatim
+                outcomes.append(f"{type(exc).__name__}: {exc}")
+        rec.expect_equal(
+            outcomes[1], outcomes[0], subject,
+            f"runaway abort at max_mops={budget}",
+        )
+
+
 # ---------------------------------------------------------- structure
 @invariant(
     "l0-accounting",

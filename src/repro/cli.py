@@ -10,6 +10,8 @@ Examples::
     python -m repro suite
     python -m repro bench --quick             # kernel-vs-reference timings
     python -m repro bench fetch_replay_base --repeats 5
+    python -m repro bench emulate_trace_micro emulate_trace_macro \
+        --output BENCH_emulate.json           # the checked-in emulator report
     python -m repro check --quick             # invariant + fault sweep
     python -m repro check --full --seed 7 --json
     python -m repro cache stats
@@ -351,7 +353,8 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--output", default="BENCH_fetch.json",
         help="where to write the JSON report ('-' to skip; "
-             "default: BENCH_fetch.json)",
+             "default: BENCH_fetch.json; the emulator subset is "
+             "checked in as BENCH_emulate.json)",
     )
     bench.add_argument(
         "--json", action="store_true",

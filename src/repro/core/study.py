@@ -36,7 +36,7 @@ from repro.compression.schemes import (
     FullOpHuffmanScheme,
     StreamHuffmanScheme,
 )
-from repro.emulator import RunResult, run_image
+from repro.emulator import RunResult, emulate
 from repro.errors import ConfigurationError
 from repro.fetch.config import FetchConfig
 from repro.fetch.engine import FetchMetrics, ideal_metrics, simulate_fetch
@@ -109,10 +109,12 @@ class ProgramStudy:
 
     @property
     def run(self) -> RunResult:
+        # emulate() dispatches on REPRO_KERNEL; both paths are
+        # bit-identical, so the cache key deliberately ignores the mode.
         if self._run is None:
             self._run = self._stage(
                 "trace",
-                lambda: run_image(
+                lambda: emulate(
                     self.compiled.image, self.compiled.module.globals
                 ),
             )

@@ -7,8 +7,26 @@ cache studies consume, exactly the role of the paper's compiler-inserted
 trace annotations ("these annotations are not included when determining
 instruction addresses or performing compression" — here the trace is a
 side channel by construction).
+
+Two executions of the same machine exist: the interpretive reference
+(:func:`run_image`) and the threaded-code kernel
+(:func:`~repro.emulator.kernel.run_image_kernel`); :func:`emulate`
+dispatches between them on the ``REPRO_KERNEL`` switch and is what the
+study pipeline calls.
 """
 
-from repro.emulator.machine import Machine, RunResult, run_image
+from repro.emulator.machine import (
+    DEFAULT_MAX_MOPS,
+    Machine,
+    RunResult,
+    emulate,
+    run_image,
+)
 
-__all__ = ["Machine", "RunResult", "run_image"]
+__all__ = [
+    "DEFAULT_MAX_MOPS",
+    "Machine",
+    "RunResult",
+    "emulate",
+    "run_image",
+]

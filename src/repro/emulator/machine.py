@@ -9,6 +9,7 @@ the same trace-driven methodology as the paper.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from array import array
 from collections import Counter
@@ -49,7 +50,7 @@ class RunResult:
     dynamic_mops: int
     executed_ops: int  # ops whose predicate held
     opcode_counts: Counter = field(default_factory=Counter)
-    machine: "Machine" = None  # type: ignore[assignment]
+    machine: Optional["Machine"] = None
 
     @property
     def ideal_ipc(self) -> float:
@@ -57,6 +58,29 @@ class RunResult:
         if self.dynamic_mops == 0:
             return 0.0
         return self.dynamic_ops / self.dynamic_mops
+
+    def fingerprint(self) -> dict:
+        """Every observable output of the run, comparison ready.
+
+        ``RunResult`` is a dataclass whose generated ``__eq__`` compares
+        ``machine`` by object identity (:class:`Machine` defines no
+        equality), so two independent runs of the same program never
+        compare equal directly.  The fingerprint replaces the machine
+        with its :meth:`Machine.state_digest` checksum; the kernel
+        differential gates compare fingerprints.
+        """
+        return {
+            "block_trace": self.block_trace.tolist(),
+            "dynamic_ops": self.dynamic_ops,
+            "dynamic_mops": self.dynamic_mops,
+            "executed_ops": self.executed_ops,
+            "opcode_counts": {
+                op.name: n for op, n in sorted(
+                    self.opcode_counts.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "machine": self.machine.state_digest() if self.machine else None,
+        }
 
 
 class Machine:
@@ -128,6 +152,24 @@ class Machine:
     # ---------------------------------------------------------- registers
     def read(self, opcode_is_float_bank: bool, index: int) -> object:
         return self.fpr[index] if opcode_is_float_bank else self.gpr[index]
+
+    # ------------------------------------------------------------ digest
+    def state_digest(self) -> str:
+        """SHA-256 over the full architectural state.
+
+        Covers every register bank, data memory and the return-address
+        stack with fixed-width little-endian serialization, so two
+        machines digest equal iff their observable state is equal —
+        the memory/register checksum the emulator kernel differential
+        gates compare.
+        """
+        h = hashlib.sha256()
+        h.update(struct.pack("<32i", *self.gpr))
+        h.update(struct.pack("<32d", *self.fpr))
+        h.update(bytes(self.pr))
+        h.update(self.memory)
+        h.update(struct.pack(f"<{len(self.call_stack)}i", *self.call_stack))
+        return h.hexdigest()
 
 
 _INT_BINARY = {
@@ -211,6 +253,31 @@ def run_image(
         opcode_counts=opcode_counts,
         machine=m,
     )
+
+
+def emulate(
+    image: ProgramImage,
+    globals_data: Optional[dict[str, GlobalData]] = None,
+    max_mops: int = DEFAULT_MAX_MOPS,
+    machine: Optional[Machine] = None,
+) -> RunResult:
+    """Execute ``image``, dispatching on the ``REPRO_KERNEL`` switch.
+
+    The default path is the threaded-code engine in
+    :mod:`repro.emulator.kernel`; ``REPRO_KERNEL=ref`` forces this
+    module's interpretive :func:`run_image`.  Both produce bit-identical
+    :class:`RunResult` fields (see :meth:`RunResult.fingerprint`), so
+    cached study artifacts never depend on the mode.
+    """
+    from repro.utils.kernelmode import kernel_enabled
+
+    if kernel_enabled():
+        from repro.emulator.kernel import run_image_kernel
+
+        return run_image_kernel(
+            image, globals_data, max_mops=max_mops, machine=machine
+        )
+    return run_image(image, globals_data, max_mops=max_mops, machine=machine)
 
 
 def _execute_mop(

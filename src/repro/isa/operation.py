@@ -134,6 +134,20 @@ class Operation:
         return tuple(regs)
 
     @property
+    def guard(self) -> Optional[Register]:
+        """The predicate register gating this op, or ``None`` when the op
+        is guarded by the hard-wired always-true ``p0``.
+
+        ``p0`` cannot be cleared (writes to it are forced back to true),
+        so a ``None`` guard means the op executes unconditionally —
+        the distinction the emulator kernel's hazard analysis and
+        static opcode accounting are built on.
+        """
+        if self.predicate.index == 0:
+            return None
+        return self.predicate
+
+    @property
     def writes(self) -> tuple[Register, ...]:
         """Registers written by this op."""
         return (self.dest,) if self.dest is not None else ()

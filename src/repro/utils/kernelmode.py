@@ -1,9 +1,13 @@
 """Kernel/reference path selection for the performance-critical loops.
 
 The simulator keeps two implementations of every hot path: a flattened
-*kernel* (the default) and the original straight-line *reference*.  The
-kernels are proven bit-identical to the references by the differential
-tests in ``tests/test_kernel_differential.py``; the environment variable
+*kernel* (the default) and the original straight-line *reference*.
+This covers the trace-replay loops (fetch, bitstream, Huffman — PR 2)
+and trace *generation* (the threaded-code emulator in
+:mod:`repro.emulator.kernel`).  The kernels are proven bit-identical to
+the references by the differential tests in
+``tests/test_kernel_differential.py`` and
+``tests/test_emulator_kernel.py``; the environment variable
 ``REPRO_KERNEL`` selects which one runs:
 
 * unset, ``kernel`` / ``1`` / ``on`` — the fast kernels;
