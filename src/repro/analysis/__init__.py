@@ -1,0 +1,100 @@
+"""repro.analysis — static verification of compiled program images.
+
+The paper's pipeline (compile → compress → fetch → emulate) trusts
+that every artifact it hands downstream is well formed.  This package
+makes that trust checkable without executing anything:
+
+* :mod:`repro.analysis.dataflow` — a generic forward/backward worklist
+  solver (liveness, dominators, reaching definitions, definite
+  assignment) shared with :mod:`repro.compiler.liveness`;
+* :mod:`repro.analysis.hazards` — the intra-MultiOp hazard analysis
+  the emulator kernel dispatches on, now also feeding the verifier;
+* :mod:`repro.analysis.verifier` — a rule registry running machine-code
+  rules over :class:`ProgramImage`\\ s and encoding-conformance rules
+  over :class:`CompressedImage`\\ s, producing structured
+  :class:`Diagnostic`\\ s (``repro analyze`` on the CLI, the
+  ``analysis`` scope under ``repro check --full``, and the opt-in
+  ``REPRO_ANALYZE`` post-compile gate).
+"""
+
+from repro.analysis.dataflow import (
+    DataflowResult,
+    definitely_assigned,
+    dominators,
+    live_variables,
+    predecessors,
+    reachable,
+    reaching_definitions,
+    solve,
+)
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    sorted_diagnostics,
+)
+from repro.analysis.hazards import (
+    Hazard,
+    classify_hazards,
+    control_transfer_count,
+    has_hazard,
+    needs_buffered_execution,
+)
+from repro.analysis.imagecfg import (
+    block_successors,
+    function_entries,
+    image_cfg,
+)
+from repro.analysis.verifier import (
+    DEFAULT_SCHEMES,
+    INJECT_TAGS,
+    RULES,
+    Rule,
+    RuleContext,
+    analysis_env_problem,
+    analyze_encoding,
+    analyze_image,
+    analyze_program,
+    analyze_suite,
+    corrupt_branch_target,
+    enforce_image,
+    gate_enabled,
+    rule,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "DEFAULT_SCHEMES",
+    "DataflowResult",
+    "Diagnostic",
+    "Hazard",
+    "INJECT_TAGS",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "analysis_env_problem",
+    "analyze_encoding",
+    "analyze_image",
+    "analyze_program",
+    "analyze_suite",
+    "block_successors",
+    "classify_hazards",
+    "control_transfer_count",
+    "corrupt_branch_target",
+    "definitely_assigned",
+    "dominators",
+    "enforce_image",
+    "function_entries",
+    "gate_enabled",
+    "has_hazard",
+    "image_cfg",
+    "live_variables",
+    "needs_buffered_execution",
+    "predecessors",
+    "reachable",
+    "reaching_definitions",
+    "rule",
+    "solve",
+    "sorted_diagnostics",
+]

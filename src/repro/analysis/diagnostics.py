@@ -1,0 +1,232 @@
+"""Structured verifier diagnostics and the per-run analysis report.
+
+A :class:`Diagnostic` is one finding of one rule: severity, the rule
+that produced it, where in the image it points (program, scheme, block,
+op), the message, and a fix hint.  Findings are *data*, mirroring
+:mod:`repro.check`'s violations: the verifier never raises on a broken
+image, it reports — the CLI turns severities into exit codes and the
+optional compile gate turns errors into :class:`AnalysisError`.
+
+The JSON encoding round-trips exactly (``AnalysisReport.from_json(
+report.to_json()) == report``), which ``repro analyze --json``
+consumers and the tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.utils.tables import format_table
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered for ``--fail-on`` thresholds."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text)
+        except ValueError:
+            raise AnalysisError(
+                f"unknown severity {text!r} (expected one of: "
+                f"{', '.join(s.value for s in cls)})"
+            ) from None
+
+
+_RANKS = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, anchored to a place in the image."""
+
+    rule: str
+    severity: Severity
+    program: str
+    message: str
+    #: Encoding scheme the finding concerns (``None`` for machine-code
+    #: rules, which look at the scheme-independent image).
+    scheme: Optional[str] = None
+    #: Block label (e.g. ``main/loop``) and layout id, when applicable.
+    block: Optional[str] = None
+    block_id: Optional[int] = None
+    #: Op position within the block (flattened across MultiOps).
+    op_index: Optional[int] = None
+    #: A short suggestion for how to repair the image.
+    hint: str = ""
+
+    def where(self) -> str:
+        parts = [self.program]
+        if self.scheme:
+            parts.append(self.scheme)
+        if self.block is not None:
+            parts.append(self.block)
+        if self.op_index is not None:
+            parts.append(f"op{self.op_index}")
+        return "/".join(parts)
+
+    def render(self) -> str:
+        text = (
+            f"{self.severity.value}: {self.rule}[{self.where()}]: "
+            f"{self.message}"
+        )
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "program": self.program,
+            "message": self.message,
+            "scheme": self.scheme,
+            "block": self.block,
+            "block_id": self.block_id,
+            "op_index": self.op_index,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Diagnostic":
+        return cls(
+            rule=payload["rule"],
+            severity=Severity.parse(payload["severity"]),
+            program=payload["program"],
+            message=payload["message"],
+            scheme=payload.get("scheme"),
+            block=payload.get("block"),
+            block_id=payload.get("block_id"),
+            op_index=payload.get("op_index"),
+            hint=payload.get("hint", ""),
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one verifier run produced.
+
+    ``checked`` counts how many subjects (ops, blocks, symbols) each
+    rule examined — a rule that reports nothing *and* checked nothing
+    proves nothing, the same accounting :mod:`repro.check` keeps.
+    """
+
+    programs: List[str] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    checked: Dict[str, int] = field(default_factory=dict)
+
+    # ----------------------------------------------------------- queries
+    def count(self, severity: Severity) -> int:
+        return sum(
+            1 for d in self.diagnostics if d.severity is severity
+        )
+
+    @property
+    def total_checked(self) -> int:
+        return sum(self.checked.values())
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity.at_least(severity)
+        ]
+
+    def ok(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """True when no diagnostic reaches the ``fail_on`` severity."""
+        return not self.at_least(fail_on)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        for program in other.programs:
+            if program not in self.programs:
+                self.programs.append(program)
+        self.diagnostics.extend(other.diagnostics)
+        for rule_name, count in other.checked.items():
+            self.checked[rule_name] = (
+                self.checked.get(rule_name, 0) + count
+            )
+        return self
+
+    # ------------------------------------------------------------- views
+    def to_json(self) -> dict:
+        return {
+            "programs": list(self.programs),
+            "checked": dict(sorted(self.checked.items())),
+            "total_checked": self.total_checked,
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AnalysisReport":
+        return cls(
+            programs=list(payload["programs"]),
+            diagnostics=[
+                Diagnostic.from_json(d) for d in payload["diagnostics"]
+            ],
+            checked=dict(payload["checked"]),
+        )
+
+    def render(self) -> str:
+        rows = [
+            [rule_name, count]
+            for rule_name, count in sorted(self.checked.items())
+        ]
+        lines = [
+            format_table(
+                ["rule", "checked"],
+                rows,
+                title=(
+                    "Static analysis ("
+                    + ", ".join(self.programs)
+                    + ")"
+                ),
+            )
+        ]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.render())
+        errors = self.count(Severity.ERROR)
+        warnings = self.count(Severity.WARNING)
+        lines.append(
+            f"{self.total_checked} checks, {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+def _sort_key(diag: Diagnostic):
+    return (
+        -diag.severity.rank,
+        diag.program,
+        diag.rule,
+        diag.block_id if diag.block_id is not None else -1,
+        diag.op_index if diag.op_index is not None else -1,
+    )
+
+
+def sorted_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+) -> List[Diagnostic]:
+    """Most severe first, then by location — the presentation order."""
+    return sorted(diagnostics, key=_sort_key)
+
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "sorted_diagnostics",
+]

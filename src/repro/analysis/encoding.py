@@ -1,0 +1,311 @@
+"""Encoding-conformance rules over :class:`CompressedImage`\\ s.
+
+These rules re-derive, independently of the compressors, what each
+compressed artifact *must* satisfy to be decodable by the modeled
+fetch hardware: block payloads round-trip to the exact op words,
+Huffman dictionaries cover every symbol the image emits within the
+hardware code-length bound, tailored field widths really span the
+operand values present, and the ATT describes every block with
+consistently-sized entries.  All findings here are error severity —
+an undecodable image has no "lint" tier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.verifier import RuleContext, rule
+from repro.compression.schemes import (
+    ByteHuffmanScheme,
+    FullOpHuffmanScheme,
+    StreamHuffmanScheme,
+)
+
+
+@rule(
+    "scheme-roundtrip",
+    kind="encoding",
+    description=(
+        "every block payload decodes back to the exact op words and "
+        "is sized to its bit length"
+    ),
+)
+def _scheme_roundtrip(ctx: RuleContext) -> None:
+    compressed = ctx.compressed
+    for block in ctx.image:
+        ctx.checked()
+        expected = [op.encode() for op in block.ops]
+        try:
+            actual = compressed.decode_block(block.block_id)
+        except Exception as exc:
+            ctx.error(
+                f"block payload failed to decode: {exc}",
+                block=block,
+                hint="payload bits and dictionaries disagree",
+            )
+            continue
+        if actual != expected:
+            first = next(
+                (
+                    i
+                    for i, (a, e) in enumerate(zip(actual, expected))
+                    if a != e
+                ),
+                min(len(actual), len(expected)),
+            )
+            ctx.error(
+                f"decoded ops diverge from the image at op {first} "
+                f"({len(actual)} decoded vs {len(expected)} expected)",
+                block=block,
+                op_index=first,
+                hint="the encoder dropped or corrupted a symbol",
+            )
+        bits = compressed.block_bit_lengths[block.block_id]
+        payload = compressed.block_bytes(block.block_id)
+        if len(payload) != (bits + 7) // 8:
+            ctx.error(
+                f"payload is {len(payload)} bytes for {bits} bits "
+                f"(expected {(bits + 7) // 8} after byte alignment)",
+                block=block,
+                hint="bit length and payload drifted apart",
+            )
+
+
+def _emitted_symbols(
+    ctx: RuleContext,
+) -> Iterable[Tuple[int, int, object, int]]:
+    """Yield ``(stream_index, symbol, block, op_index)`` the image emits.
+
+    Mirrors each scheme's symbol decomposition without reusing its
+    encoder, so a compressor bug cannot hide from the rule.
+    """
+    scheme = ctx.compressed.scheme
+    if isinstance(scheme, ByteHuffmanScheme):
+        for block in ctx.image:
+            for op_index, op in enumerate(block.ops):
+                for byte in op.encode_bytes():
+                    yield 0, byte, block, op_index
+    elif isinstance(scheme, FullOpHuffmanScheme):
+        for block in ctx.image:
+            for op_index, op in enumerate(block.ops):
+                yield 0, op.encode(), block, op_index
+    elif isinstance(scheme, StreamHuffmanScheme):
+        for block in ctx.image:
+            for op_index, op in enumerate(block.ops):
+                word = op.encode()
+                for i, symbol in enumerate(scheme.config.split(word)):
+                    yield i, symbol, block, op_index
+
+
+@rule(
+    "codebook-coverage",
+    kind="encoding",
+    description=(
+        "every symbol the image emits has a dictionary code no longer "
+        "than the hardware bound, and fits its stream's symbol width"
+    ),
+)
+def _codebook_coverage(ctx: RuleContext) -> None:
+    compressed = ctx.compressed
+    streams = compressed.streams
+    if not streams:
+        return  # base and tailored carry no dictionaries
+    scheme = compressed.scheme
+    bound = scheme.max_code_length
+    missing = set()
+    for stream_index, symbol, block, op_index in _emitted_symbols(ctx):
+        ctx.checked()
+        table = streams[stream_index]
+        entry = table.code.codes.get(symbol)
+        if entry is None:
+            if (stream_index, symbol) not in missing:
+                missing.add((stream_index, symbol))
+                ctx.error(
+                    f"stream {stream_index} emits symbol "
+                    f"{symbol:#x} absent from its dictionary",
+                    block=block,
+                    op_index=op_index,
+                    hint="the dictionary must cover the whole alphabet",
+                )
+            continue
+        _, length = entry
+        if bound is not None and length > bound:
+            ctx.error(
+                f"stream {stream_index} symbol {symbol:#x} has a "
+                f"{length}-bit code, hardware bound is {bound}",
+                block=block,
+                op_index=op_index,
+                hint="rebuild the code with the length limit applied",
+            )
+        if symbol >= (1 << table.symbol_bits) or symbol < 0:
+            ctx.error(
+                f"stream {stream_index} symbol {symbol:#x} does not "
+                f"fit the declared {table.symbol_bits}-bit entry width",
+                block=block,
+                op_index=op_index,
+                hint="StreamTable.symbol_bits under-sizes the alphabet",
+            )
+
+
+def _fits(value: int, width: int, signed: bool) -> bool:
+    if width == 0:
+        return value == 0
+    if signed:
+        return -(1 << (width - 1)) <= value < (1 << (width - 1))
+    return 0 <= value < (1 << width)
+
+
+@rule(
+    "tailored-widths",
+    kind="encoding",
+    description=(
+        "tailored field widths cover every operand value, and the "
+        "opcode selector covers every opcode, in the image"
+    ),
+)
+def _tailored_widths(ctx: RuleContext) -> None:
+    from repro.tailored.encoding import TailoredImage
+
+    compressed = ctx.compressed
+    if not isinstance(compressed, TailoredImage):
+        return
+    spec = compressed.spec
+    for block in ctx.image:
+        for op_index, op in enumerate(block.ops):
+            ctx.checked()
+            selector = spec.opcode_selector.get(op.opcode)
+            if selector is None:
+                ctx.error(
+                    f"opcode {op.opcode.name} has no selector in the "
+                    "tailored spec",
+                    block=block,
+                    op_index=op_index,
+                    hint="the spec must enumerate every opcode used",
+                )
+                continue
+            if not _fits(selector, spec.selector_width, signed=False):
+                ctx.error(
+                    f"selector {selector} for {op.opcode.name} "
+                    f"overflows the {spec.selector_width}-bit field",
+                    block=block,
+                    op_index=op_index,
+                    hint="selector_width must cover the opcode count",
+                )
+            if op.speculative and not spec.speculative_used:
+                ctx.error(
+                    f"{op.opcode.name} is speculative but the spec "
+                    "reserves no speculative bit",
+                    block=block,
+                    op_index=op_index,
+                    hint="speculative_used must be true for this image",
+                )
+            tf = spec.formats[op.opcode.format_name]
+            values = op.field_values()
+            for fu in tf.fields:
+                value = (op.imm or 0) if fu.signed else values[fu.name]
+                if not _fits(value, fu.tailored_width, fu.signed):
+                    ctx.error(
+                        f"field {fu.name!r} value {value} does not "
+                        f"fit its tailored {fu.tailored_width}-bit "
+                        f"width on {op.opcode.name}",
+                        block=block,
+                        op_index=op_index,
+                        hint=(
+                            "the usage analysis missed this value; "
+                            "widths must span the observed range"
+                        ),
+                    )
+
+
+@rule(
+    "att-coverage",
+    kind="encoding",
+    description=(
+        "the ATT describes every block: offsets chain, per-block "
+        "line/MultiOp counts fit the shared entry fields"
+    ),
+)
+def _att_coverage(ctx: RuleContext) -> None:
+    if ctx.geometry is None:
+        return  # baseline fetch translates nothing
+    from repro.fetch.atb import att_entry_bits
+
+    compressed = ctx.compressed
+    image = ctx.image
+    geometry = ctx.geometry
+
+    def bits_for(value: int) -> int:
+        return max(1, value.bit_length())
+
+    if len(compressed.block_payloads) != len(image):
+        ctx.error(
+            f"ATT covers {len(compressed.block_payloads)} blocks, "
+            f"image has {len(image)}",
+            hint="one entry per basic block, no more, no fewer",
+        )
+        return
+    line_counts = [
+        len(
+            geometry.lines_of(
+                compressed.block_offset(b.block_id),
+                max(1, compressed.block_size(b.block_id)),
+            )
+        )
+        for b in image
+    ]
+    addr_bits = bits_for(max(1, compressed.total_code_bytes - 1))
+    line_bits = bits_for(max(line_counts))
+    mop_bits = bits_for(max(b.mop_count for b in image))
+    expected_entry = addr_bits + line_bits + mop_bits + addr_bits
+    actual_entry = att_entry_bits(compressed, geometry)
+    if actual_entry != expected_entry:
+        ctx.error(
+            f"att_entry_bits reports {actual_entry}, independent "
+            f"re-derivation gives {expected_entry}",
+            hint="entry sizing drifted from the Section 3.3 layout",
+        )
+    running = 0
+    for block, lines in zip(image, line_counts):
+        ctx.checked()
+        offset = compressed.block_offset(block.block_id)
+        size = compressed.block_size(block.block_id)
+        if offset != running:
+            ctx.error(
+                f"block offset {offset} breaks the chain (previous "
+                f"payloads end at {running})",
+                block=block,
+                hint="offsets must be the running payload sum",
+            )
+        running = offset + size
+        if not _fits(offset, addr_bits, signed=False):
+            ctx.error(
+                f"compressed address {offset} overflows the "
+                f"{addr_bits}-bit entry field",
+                block=block,
+                hint="address field must cover the code size",
+            )
+        if not _fits(lines, line_bits, signed=False) or lines < 1:
+            ctx.error(
+                f"line count {lines} does not fit the "
+                f"{line_bits}-bit entry field",
+                block=block,
+                hint="line-count field must cover the largest block",
+            )
+        if not _fits(block.mop_count, mop_bits, signed=False):
+            ctx.error(
+                f"MultiOp count {block.mop_count} does not fit the "
+                f"{mop_bits}-bit entry field",
+                block=block,
+                hint="MultiOp field must cover the largest block",
+            )
+        # The next-sequential-address field: defined for every block
+        # with a successor; the final block's pointer is don't-care.
+        if block.block_id + 1 < len(image):
+            nxt = compressed.block_offset(block.block_id + 1)
+            if not _fits(nxt, addr_bits, signed=False):
+                ctx.error(
+                    f"next-block address {nxt} overflows the "
+                    f"{addr_bits}-bit entry field",
+                    block=block,
+                    hint="pipelined fetch needs the successor address",
+                )

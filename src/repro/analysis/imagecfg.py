@@ -1,0 +1,63 @@
+"""Control-flow view of a laid-out :class:`ProgramImage`.
+
+:mod:`repro.compiler.cfg` works on IR functions before layout; the
+verifier needs the same graph over the *assembled* image — block ids,
+resolved branch targets, recorded fallthroughs, and interprocedural
+edges (a CALL reaches both its callee's entry and, eventually, its own
+fallthrough continuation; a RET has no static successors).  Analyses
+treat the call edge and the continuation edge as ordinary successors,
+the same approximation :mod:`repro.compiler.cfg` documents for
+intra-procedural liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.image import BasicBlockImage, ProgramImage
+from repro.isa.opcodes import Opcode
+
+
+def block_successors(
+    image: ProgramImage, block: BasicBlockImage
+) -> List[int]:
+    """Static successor block ids, in fetch-preference order.
+
+    Branch/call targets first, the fallthrough continuation last;
+    duplicates collapse (a conditional branch targeting its own
+    fallthrough contributes one edge).  Out-of-range targets are
+    dropped — the branch-target rule reports them; the graph stays
+    well-formed for the other analyses either way.
+    """
+    n = len(image)
+    succs: List[int] = []
+    for op in block.ops:
+        if op.target_block is None:
+            continue
+        if op.opcode in (Opcode.BR, Opcode.CALL):
+            target = op.target_block
+            if 0 <= target < n and target not in succs:
+                succs.append(target)
+    ft = block.fallthrough
+    if ft is not None and 0 <= ft < n and ft not in succs:
+        succs.append(ft)
+    return succs
+
+
+def image_cfg(image: ProgramImage) -> Dict[int, List[int]]:
+    """``{block_id: [successor block ids]}`` over the whole image."""
+    return {
+        block.block_id: block_successors(image, block) for block in image
+    }
+
+
+def function_entries(image: ProgramImage) -> Dict[str, int]:
+    """First (entry) block id of each function, in layout order."""
+    entries: Dict[str, int] = {}
+    for block in image:
+        if block.function not in entries:
+            entries[block.function] = block.block_id
+    return entries
+
+
+__all__ = ["block_successors", "function_entries", "image_cfg"]

@@ -433,3 +433,48 @@ def _atb_structure(ctx: CheckContext, rec: Recorder) -> None:
             atb.hits + atb.misses, rounds, subject,
             "hits + misses vs accesses",
         )
+
+
+# ------------------------------------------------------------ analysis
+@invariant(
+    "static-verifier",
+    scope="analysis",
+    description="the repro.analysis verifier finds nothing error-"
+                "severity in any suite artifact, and still fires on a "
+                "seeded bad branch target",
+    quick=False,
+)
+def _static_verifier(ctx: CheckContext, rec: Recorder) -> None:
+    from repro.analysis import (
+        Severity,
+        analyze_encoding,
+        analyze_image,
+        corrupt_branch_target,
+    )
+    from repro.analysis.verifier import _geometry_for
+
+    for benchmark in ctx.benchmarks:
+        study = ctx.study(benchmark)
+        image = study.compiled.image
+        report = analyze_image(image, program=benchmark)
+        for scheme in ("base", "byte", "full", "tailored"):
+            report.merge(
+                analyze_encoding(
+                    study.compressed(scheme),
+                    geometry=_geometry_for(scheme),
+                    program=benchmark,
+                )
+            )
+        rec.checked_one(report.total_checked)
+        for diag in report.at_least(Severity.ERROR):
+            rec.violation(benchmark, diag.render())
+        # Negative control: the verifier must reject a seeded bad
+        # branch target, or a silent pass above proves nothing.
+        corrupted = analyze_image(
+            corrupt_branch_target(image), program=benchmark
+        )
+        rec.expect(
+            not corrupted.ok(),
+            benchmark,
+            "verifier accepted an image with a corrupted branch target",
+        )

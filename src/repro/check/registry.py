@@ -33,7 +33,15 @@ from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 from repro.errors import CheckError
 
 #: Registry scopes, in presentation order.
-SCOPES = ("compression", "att", "fetch", "emulator", "structure", "store")
+SCOPES = (
+    "compression",
+    "att",
+    "fetch",
+    "emulator",
+    "structure",
+    "store",
+    "analysis",
+)
 
 #: Recognized ``--inject`` tamper tags (CI uses these to prove the
 #: checker actually fails on a seeded violation).

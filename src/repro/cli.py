@@ -14,6 +14,10 @@ Examples::
         --output BENCH_emulate.json           # the checked-in emulator report
     python -m repro check --quick             # invariant + fault sweep
     python -m repro check --full --seed 7 --json
+    python -m repro analyze --all             # static verifier + lint
+    python -m repro analyze --program compress --json
+    python -m repro analyze --all --fail-on warning
+    python -m repro analyze --program go --inject bad-branch  # exits 1
     python -m repro cache stats
     python -m repro cache clear
 
@@ -61,6 +65,11 @@ def _validate_invocation(args) -> None:
     kernel_problem = kernel_env_problem()
     if kernel_problem:
         problems = problems + [kernel_problem]
+    from repro.analysis import analysis_env_problem
+
+    gate_problem = analysis_env_problem()
+    if gate_problem:
+        problems = problems + [gate_problem]
     if problems:
         raise ConfigurationError("; ".join(problems))
 
@@ -273,6 +282,67 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        AnalysisReport,
+        Severity,
+        analyze_image,
+        analyze_suite,
+        corrupt_branch_target,
+    )
+    from repro.errors import AnalysisError
+
+    _apply_runtime_flags(args)
+    fail_on = Severity.parse(args.fail_on)
+    names = tuple(args.programs or BENCHMARK_NAMES)
+    progress = (
+        None
+        if args.json
+        else lambda name: print(f"analyze {name} ...", file=sys.stderr)
+    )
+    try:
+        if args.inject:
+            # Seeded-corruption mode: run the machine rules over a
+            # deliberately broken copy of each image, proving the
+            # verifier (and the CI job watching it) actually fires.
+            unknown = [n for n in names if n not in BENCHMARK_NAMES]
+            if unknown:
+                raise AnalysisError(
+                    f"unknown benchmark(s): {', '.join(unknown)} "
+                    f"(known: {', '.join(BENCHMARK_NAMES)})"
+                )
+            report = AnalysisReport()
+            for name in names:
+                if progress is not None:
+                    progress(f"{name} [inject: bad-branch]")
+                image = study_for(name, args.scale).compiled.image
+                report.merge(
+                    analyze_image(
+                        corrupt_branch_target(image), program=name
+                    )
+                )
+        else:
+            report = analyze_suite(
+                names, args.scale, progress=progress
+            )
+    except AnalysisError as exc:
+        print(f"analysis error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(report.to_json())
+    else:
+        print(report.render())
+    findings = report.at_least(fail_on)
+    if findings:
+        print(
+            f"{len(findings)} finding(s) at or above "
+            f"severity {fail_on.value}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = runtime.default_store()
     if args.cache_command == "clear":
@@ -398,6 +468,42 @@ def main(argv: list[str] | None = None) -> int:
         help="emit the invariant report as JSON",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically verify compiled images and their encodings",
+    )
+    which = analyze.add_mutually_exclusive_group()
+    which.add_argument(
+        "--program", dest="programs", action="append", default=None,
+        metavar="NAME",
+        help="verify one benchmark (repeatable)",
+    )
+    which.add_argument(
+        "--all", action="store_true",
+        help="verify every suite benchmark (the default)",
+    )
+    analyze.add_argument("--scale", type=int, default=None)
+    analyze.add_argument(
+        "--fail-on", dest="fail_on",
+        choices=("warning", "error"), default="error",
+        help="exit 1 when a finding reaches this severity "
+             "(default: error; 'warning' promotes the lint tier)",
+    )
+    analyze.add_argument(
+        "--inject", action="append", default=None,
+        choices=("bad-branch",),
+        help="verify a deliberately corrupted copy of each image "
+             "instead (CI proves the verifier exits non-zero)",
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics report as JSON",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the artifact "
                                           "cache")
     cache.add_argument(
@@ -417,6 +523,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": _cmd_suite,
         "bench": _cmd_bench,
         "check": _cmd_check,
+        "analyze": _cmd_analyze,
         "cache": _cmd_cache,
     }[args.command](args)
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.dataflow import live_variables
 from repro.compiler.cfg import build_cfg
 from repro.compiler.ir import IRFunction, IRInstr, IROp, VReg
 
@@ -39,7 +40,12 @@ class LivenessResult:
 
 
 def analyze_liveness(func: IRFunction) -> LivenessResult:
-    """Iterative backward may-liveness to a fixed point."""
+    """Backward may-liveness via the shared worklist solver.
+
+    The per-block transfer sets (upward-exposed uses, definite kills)
+    stay here; the fixed-point iteration lives in
+    :func:`repro.analysis.dataflow.live_variables`.
+    """
     cfg = build_cfg(func)
     use: dict[str, set[VReg]] = {}
     deff: dict[str, set[VReg]] = {}
@@ -53,19 +59,8 @@ def analyze_liveness(func: IRFunction) -> LivenessResult:
             killed.update(instr_kills(instr))
         use[block.label] = upward
         deff[block.label] = killed
-    live_in = {b.label: set() for b in func.blocks}
-    live_out = {b.label: set() for b in func.blocks}
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(func.blocks):
-            label = block.label
-            out: set[VReg] = set()
-            for succ in cfg[label]:
-                out |= live_in[succ]
-            new_in = use[label] | (out - deff[label])
-            if out != live_out[label] or new_in != live_in[label]:
-                live_out[label] = out
-                live_in[label] = new_in
-                changed = True
-    return LivenessResult(live_in=live_in, live_out=live_out)
+    result = live_variables(cfg, use, deff)
+    return LivenessResult(
+        live_in={label: set(facts) for label, facts in result.before.items()},
+        live_out={label: set(facts) for label, facts in result.after.items()},
+    )

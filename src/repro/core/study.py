@@ -105,6 +105,19 @@ class ProgramStudy:
                 "compile",
                 lambda: compile_benchmark(self.name, self.scale),
             )
+            # Opt-in post-compile gate (REPRO_ANALYZE=1): statically
+            # verify the image before anything downstream consumes it.
+            # Raises AnalysisError on error-severity findings; a cache
+            # hit is re-verified too — corruption at rest is exactly
+            # what the gate is for.
+            from repro.analysis import gate_enabled
+
+            if gate_enabled():
+                from repro.analysis import enforce_image
+
+                enforce_image(
+                    self._compiled.image, program=self.name
+                )
         return self._compiled
 
     @property

@@ -50,6 +50,7 @@ from collections import Counter
 from typing import Callable, List, Optional
 from weakref import WeakKeyDictionary
 
+from repro.analysis.hazards import needs_buffered_execution
 from repro.errors import EmulationError
 from repro.emulator.machine import (
     DEFAULT_MAX_MOPS,
@@ -411,32 +412,6 @@ def _unimplemented_buffered(opcode: Opcode):
 
 
 # ----------------------------------------------------------- mop compile
-def _has_hazard(ops: tuple) -> bool:
-    """Does any op read state written by an earlier op of this MultiOp?
-
-    Covers register sources, predicate guards (``p0`` is immutable and
-    excluded) and load-after-store memory ordering — the cases where
-    in-order immediate execution would diverge from the reference's
-    read-all-then-write-all semantics.
-    """
-    written: set = set()
-    store_seen = False
-    for op in ops:
-        if op.opcode is Opcode.LD and store_seen:
-            return True
-        guard = op.guard
-        if guard is not None and (guard.bank, guard.index) in written:
-            return True
-        for reg in op.reads:
-            if (reg.bank, reg.index) in written:
-                return True
-        if op.dest is not None:
-            written.add((op.dest.bank, op.dest.index))
-        if op.opcode is Opcode.ST:
-            store_seen = True
-    return False
-
-
 def _guard_step(p: int, opcode: Opcode, inner: Step) -> Step:
     """Wrap ``inner`` in a predicate check plus dynamic statistics."""
     def step(m, rt):
@@ -521,8 +496,9 @@ def _buffered_step(ops: tuple) -> Step:
 
 def _compile_mop(mop: MultiOp) -> Step:
     ops = mop.ops
-    n_control = sum(1 for op in ops if op.opcode.is_branch)
-    if n_control > 1 or _has_hazard(ops):
+    # Shared with the static verifier's vliw-hazard rule; the pinning
+    # regression test keeps the two consumers classifying identically.
+    if needs_buffered_execution(ops):
         return _buffered_step(ops)
     steps = []
     for op in ops:

@@ -58,3 +58,14 @@ class CheckError(ReproError):
     Distinct from a check *failing* — violations are data
     (:class:`repro.check.registry.Violation`), not exceptions.
     """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis subsystem was used inconsistently, or the
+    ``REPRO_ANALYZE`` post-compile gate rejected an image.
+
+    Ordinary verifier findings are data
+    (:class:`repro.analysis.diagnostics.Diagnostic`), not exceptions;
+    this is raised only for malformed analysis inputs and for the
+    opt-in gate, which promotes error-severity diagnostics to a hard
+    failure."""

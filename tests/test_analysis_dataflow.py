@@ -1,0 +1,269 @@
+"""The generic dataflow solver, against brute-force oracles.
+
+The Hypothesis properties pit the worklist solver against independent
+re-implementations on randomized digraphs — including graphs with
+unreachable nodes, self loops and critical edges — so a solver bug
+cannot hide behind the analyses' own assumptions:
+
+* dominators vs the node-removal oracle (``d`` dominates ``n`` iff
+  removing ``d`` disconnects ``n`` from the entry);
+* liveness vs a naive round-robin fixed point (the pre-refactor
+  algorithm of :mod:`repro.compiler.liveness`, kept inline here);
+* definite assignment vs an avoid-the-generators reachability oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataflow import (
+    definitely_assigned,
+    dominators,
+    live_variables,
+    predecessors,
+    reachable,
+    reaching_definitions,
+    solve,
+)
+from repro.errors import AnalysisError
+
+# ------------------------------------------------------------ strategies
+MAX_NODES = 7
+FACTS = ("a", "b", "c")
+
+
+@st.composite
+def digraphs(draw):
+    """A random ``{node: [succs]}`` digraph over ``0..n-1``."""
+    n = draw(st.integers(min_value=1, max_value=MAX_NODES))
+    cfg = {}
+    for node in range(n):
+        succs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                max_size=3,
+                unique=True,
+            )
+        )
+        cfg[node] = succs
+    return cfg
+
+
+@st.composite
+def digraphs_with_facts(draw):
+    cfg = draw(digraphs())
+    sets = {
+        node: set(
+            draw(st.lists(st.sampled_from(FACTS), max_size=2, unique=True))
+        )
+        for node in cfg
+    }
+    return cfg, sets
+
+
+# ------------------------------------------------------------ the oracles
+def _dominates_oracle(cfg, entry, d, n):
+    """d dom n iff every entry->n path passes through d."""
+    if d == n:
+        return True
+    if d == entry:
+        return True
+    # BFS from entry avoiding d; if n is still reachable, d does not
+    # dominate it.
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        if node == n:
+            return False
+        for succ in cfg[node]:
+            if succ != d and succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return True
+
+
+def _liveness_oracle(cfg, use, deff):
+    """The pre-refactor round-robin fixed point, kept independent."""
+    live_in = {n: set() for n in cfg}
+    live_out = {n: set() for n in cfg}
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg:
+            out = set()
+            for succ in cfg[node]:
+                out |= live_in[succ]
+            new_in = use[node] | (out - deff[node])
+            if out != live_out[node] or new_in != live_in[node]:
+                live_out[node] = out
+                live_in[node] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _assigned_oracle(cfg, entry, gen, seed, fact):
+    """Nodes whose entry is *missing* ``fact``: reachable from the
+    entry along paths whose earlier nodes never generate it."""
+    missing = set()
+    if fact not in seed:
+        missing.add(entry)
+        stack = [entry]
+        while stack:
+            node = stack.pop()
+            if fact in gen[node]:
+                continue  # paths through this node acquire the fact
+            for succ in cfg[node]:
+                if succ not in missing:
+                    missing.add(succ)
+                    stack.append(succ)
+    return missing
+
+
+# ------------------------------------------------------------- properties
+@settings(max_examples=80, deadline=None)
+@given(digraphs())
+def test_dominators_match_path_enumeration_oracle(cfg):
+    entry = 0
+    doms = dominators(cfg, entry)
+    keep = reachable(cfg, entry)
+    assert set(doms) == set(keep)
+    for n in keep:
+        for d in cfg:
+            expected = d in keep and _dominates_oracle(cfg, entry, d, n)
+            assert (d in doms[n]) == expected, (cfg, d, n)
+
+
+@settings(max_examples=80, deadline=None)
+@given(digraphs_with_facts(), digraphs_with_facts())
+def test_liveness_matches_roundrobin_oracle(graph_use, graph_deff):
+    cfg, use = graph_use
+    _, deff_raw = graph_deff
+    # Align the def sets onto the first graph's node set.
+    deff = {n: deff_raw.get(n, set()) for n in cfg}
+    result = live_variables(cfg, use, deff)
+    live_in, live_out = _liveness_oracle(cfg, use, deff)
+    for node in cfg:
+        assert set(result.before[node]) == live_in[node]
+        assert set(result.after[node]) == live_out[node]
+
+
+@settings(max_examples=80, deadline=None)
+@given(digraphs_with_facts(), st.sets(st.sampled_from(FACTS)))
+def test_definite_assignment_matches_avoidance_oracle(graph, seed):
+    cfg, gen = graph
+    entry = 0
+    result = definitely_assigned(cfg, entry, gen, seed=seed)
+    keep = reachable(cfg, entry)
+    assert set(result.before) == set(keep)
+    for fact in FACTS:
+        missing = _assigned_oracle(cfg, entry, gen, seed, fact)
+        for node in keep:
+            assert (fact not in result.before[node]) == (
+                node in missing
+            ), (cfg, gen, seed, fact, node)
+
+
+@settings(max_examples=60, deadline=None)
+@given(digraphs())
+def test_dominance_is_reflexive_and_entry_dominates_all(cfg):
+    doms = dominators(cfg, 0)
+    for node, ds in doms.items():
+        assert node in ds
+        assert 0 in ds
+
+
+# ------------------------------------------------------------------ units
+def test_diamond_dominators():
+    cfg = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    doms = dominators(cfg, 0)
+    assert set(doms[3]) == {0, 3}  # neither arm dominates the join
+    assert set(doms[1]) == {0, 1}
+
+
+def test_unreachable_nodes_are_omitted_from_dominators():
+    cfg = {0: [1], 1: [], 2: [1]}  # node 2 unreachable
+    doms = dominators(cfg, 0)
+    assert 2 not in doms
+    assert set(doms[1]) == {0, 1}
+
+
+def test_diamond_definite_assignment():
+    cfg = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    one_arm = definitely_assigned(cfg, 0, {1: {"x"}})
+    assert "x" not in one_arm.before[3]
+    both_arms = definitely_assigned(cfg, 0, {1: {"x"}, 2: {"x"}})
+    assert "x" in both_arms.before[3]
+
+
+def test_seed_facts_hold_everywhere_reachable():
+    cfg = {0: [1], 1: [0]}
+    result = definitely_assigned(cfg, 0, {}, seed={"sp"})
+    assert "sp" in result.before[0]
+    assert "sp" in result.before[1]
+
+
+def test_reaching_definitions_kill_earlier_sites():
+    cfg = {0: [1], 1: [2], 2: []}
+    defs = {0: [("x", "d0")], 1: [("x", "d1")], 2: []}
+    result = reaching_definitions(cfg, defs)
+    assert set(result.before[2]) == {("x", "d1")}
+    assert set(result.before[1]) == {("x", "d0")}
+
+
+def test_reaching_definitions_merge_at_joins():
+    cfg = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    defs = {1: [("x", "d1")], 2: [("x", "d2")]}
+    result = reaching_definitions(cfg, defs)
+    assert set(result.before[3]) == {("x", "d1"), ("x", "d2")}
+
+
+def test_predecessors_reject_dangling_edges():
+    with pytest.raises(AnalysisError):
+        predecessors({0: [7]})
+
+
+def test_reachable_requires_a_known_entry():
+    with pytest.raises(AnalysisError):
+        reachable({0: []}, 9)
+
+
+def test_must_analysis_requires_a_universe():
+    with pytest.raises(AnalysisError):
+        solve({0: []}, gen={}, may=False)
+
+
+def test_backward_result_is_reported_in_program_order():
+    # One block using 'x': live-in has it, live-out does not.
+    result = live_variables({0: []}, {0: {"x"}}, {0: set()})
+    assert set(result.before[0]) == {"x"}
+    assert set(result.after[0]) == set()
+
+
+def test_compiler_liveness_still_matches_on_a_real_function(tiny_program):
+    """The refactored analyze_liveness agrees with the inline oracle."""
+    from repro.compiler.cfg import build_cfg
+    from repro.compiler.liveness import (
+        analyze_liveness,
+        instr_kills,
+        instr_uses,
+    )
+
+    prog, _, _ = tiny_program
+    func = next(iter(prog.module.functions.values()))
+    cfg = build_cfg(func)
+    use, deff = {}, {}
+    for block in func.blocks:
+        upward, killed = set(), set()
+        for instr in block.all_instrs():
+            for r in instr_uses(instr):
+                if r not in killed:
+                    upward.add(r)
+            killed.update(instr_kills(instr))
+        use[block.label] = upward
+        deff[block.label] = killed
+    live_in, live_out = _liveness_oracle(cfg, use, deff)
+    result = analyze_liveness(func)
+    assert result.live_in == live_in
+    assert result.live_out == live_out

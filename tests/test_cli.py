@@ -321,3 +321,59 @@ def test_bench_json_mode_skips_file(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["results"][0]["name"] == "huffman_encode"
     assert payload["schema"] == 1
+
+
+class TestAnalyzeCommand:
+    def test_analyze_clean_program_exits_zero(self, capsys):
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Static analysis (compress)" in out
+        assert "0 error(s), 0 warning(s)" in out
+        assert "branch-target" in out
+
+    def test_analyze_json_payload(self, capsys):
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["programs"] == ["compress"]
+        assert payload["checked"]["branch-target"] > 0
+        assert payload["diagnostics"] == []
+
+    def test_analyze_injected_violation_exits_one(self, capsys):
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2",
+             "--inject", "bad-branch"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "branch-target" in captured.out
+        assert "error" in captured.err
+
+    def test_analyze_fail_on_warning_tightens_the_gate(self, capsys):
+        # The injected image only has an error, which trips both
+        # thresholds; a clean image trips neither.
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2",
+             "--fail-on", "warning"]
+        ) == 0
+
+    def test_analyze_unknown_program_exits_two(self, capsys):
+        assert main(["analyze", "--program", "warp-drive"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_analyze_program_and_all_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--program", "compress", "--all"])
+
+    def test_analyze_rejects_malformed_gate_env(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ANALYZE", "maybe")
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2"]
+        ) == 2
+        assert "REPRO_ANALYZE" in capsys.readouterr().err
