@@ -41,6 +41,7 @@ SCOPES = (
     "structure",
     "store",
     "analysis",
+    "serve",
 )
 
 #: Recognized ``--inject`` tamper tags (CI uses these to prove the

@@ -1,0 +1,321 @@
+"""Fault injection against a live ``repro serve`` daemon (``scope="serve"``).
+
+Each invariant here boots a real daemon subprocess (the same
+``python -m repro serve`` entry point users run) on a throwaway socket
+and cache, then attacks it: SIGTERM with a request in flight, SIGKILL
+mid-study, malformed wire traffic.  The contracts being proven:
+
+* graceful shutdown **drains** — an in-flight request still gets its
+  response, the process exits 0, and the socket file is removed;
+* a hard kill can cost at most a recompute — every artifact the dying
+  daemon left behind reads back valid or as a clean miss (the store's
+  mid-write-kill tolerance, exercised through the daemon this time);
+* protocol abuse never takes the daemon down — garbage, bad magic,
+  wrong version, oversized and truncated frames each produce a typed
+  error reply or a clean close, and the *next* client still gets
+  served.
+
+These are ``quick=False``: they spawn subprocesses and sleep on real
+sockets, so they run under ``repro check --full`` or explicitly via
+``repro check --scope serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+
+import repro
+from repro.check.registry import CheckContext, Recorder, invariant
+from repro.runtime.store import MISS, ArtifactStore
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+
+#: How long to wait for a fresh daemon to come up / a dying one to exit.
+_BOOT_SECONDS = 30.0
+
+
+def _daemon_env(root: str) -> dict:
+    src_dir = pathlib.Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{src_dir}{os.pathsep}{existing}" if existing else str(src_dir)
+    )
+    env["REPRO_CACHE_DIR"] = os.path.join(root, "cache")
+    env.pop("REPRO_SOCKET", None)
+    env.pop("REPRO_CACHE", None)
+    return env
+
+
+@contextmanager
+def _daemon(root: str, *, max_inflight: int = 4):
+    """A live daemon subprocess; yields ``(process, socket_path)``.
+
+    Always reaps the process on exit, escalating to SIGKILL if the test
+    left it running.
+    """
+    sock_path = os.path.join(root, "serve.sock")
+    log = open(os.path.join(root, "daemon.log"), "wb")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", sock_path,
+            "--max-inflight", str(max_inflight),
+        ],
+        env=_daemon_env(root),
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        deadline = time.monotonic() + _BOOT_SECONDS
+        while True:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"daemon died during boot "
+                    f"(exit {process.returncode}): "
+                    + pathlib.Path(root, "daemon.log").read_text()
+                )
+            try:
+                probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                probe.settimeout(1.0)
+                probe.connect(sock_path)
+                probe.close()
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise RuntimeError("daemon never opened its socket")
+                time.sleep(0.05)
+        yield process, sock_path
+    finally:
+        if process.poll() is None:
+            process.kill()
+        process.wait()
+        log.close()
+
+
+def _store_audit(root: str) -> list:
+    """Read back every entry the daemon's store holds.
+
+    Returns ``[(digest, "ok" | "miss")]``; a raising ``get`` propagates
+    (that is the failure the caller asserts against).
+    """
+    store_root = pathlib.Path(root) / "cache"
+    store = ArtifactStore(store_root)
+    results = []
+    for path in store_root.glob("objects/*/*.pkl"):
+        digest = path.stem
+        payload = store.get(digest)
+        results.append((digest, "miss" if payload is MISS else "ok"))
+    return results
+
+
+@invariant(
+    "serve-shutdown-drain",
+    scope="serve",
+    description="SIGTERM with a request in flight: the response is "
+                "still delivered, exit code 0, socket removed",
+    quick=False,
+)
+def _serve_shutdown_drain(ctx: CheckContext, rec: Recorder) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as root:
+        with _daemon(root) as (process, sock_path):
+            outcome = {}
+
+            def _slow_request() -> None:
+                try:
+                    with ServeClient(sock_path, timeout=30.0) as client:
+                        outcome["result"] = client.ping(
+                            delay=1.5, tag="drain-probe"
+                        )
+                except Exception as exc:  # recorded, not raised
+                    outcome["error"] = f"{type(exc).__name__}: {exc}"
+
+            thread = threading.Thread(target=_slow_request)
+            thread.start()
+            time.sleep(0.4)  # let the daemon start executing the job
+            process.send_signal(signal.SIGTERM)
+            thread.join(timeout=_BOOT_SECONDS)
+            rec.expect(
+                not thread.is_alive(),
+                "in-flight",
+                "client thread still waiting after SIGTERM drain",
+            )
+            rec.expect(
+                outcome.get("result", {}).get("pong") is True,
+                "in-flight",
+                f"in-flight request was not answered during drain: "
+                f"{outcome.get('error', outcome)}",
+            )
+            code = process.wait(timeout=_BOOT_SECONDS)
+            rec.expect_equal(code, 0, "exit-code", "SIGTERM exit code")
+            rec.expect(
+                not os.path.exists(sock_path),
+                "socket",
+                "socket file survived graceful shutdown",
+            )
+
+
+@invariant(
+    "serve-sigkill-store",
+    scope="serve",
+    description="SIGKILL mid-study: every store entry reads back valid "
+                "or as a clean miss, never an exception",
+    quick=False,
+)
+def _serve_sigkill_store(ctx: CheckContext, rec: Recorder) -> None:
+    rng = ctx.rng("serve-sigkill-store")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as root:
+        with _daemon(root) as (process, sock_path):
+            def _study_request() -> None:
+                try:
+                    with ServeClient(sock_path, timeout=60.0) as client:
+                        client.study("compress", 2, ["byte"])
+                except Exception:
+                    pass  # the kill races the reply; either is fine
+
+            thread = threading.Thread(target=_study_request)
+            thread.start()
+            # Land the kill somewhere inside the compile/trace/compress
+            # chain (seeded, so a failure reproduces with --seed).
+            time.sleep(0.05 + rng.random() * 0.6)
+            process.kill()
+            process.wait()
+            thread.join(timeout=_BOOT_SECONDS)
+        try:
+            audit = _store_audit(root)
+        except Exception as exc:
+            rec.expect(
+                False,
+                "store",
+                f"auditing the dead daemon's store raised "
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+        for digest, status in audit:
+            rec.expect(
+                status in ("ok", "miss"),
+                digest[:8],
+                f"unexpected audit status {status!r}",
+            )
+        # The survivors must let a fresh in-process run finish the job.
+        store = ArtifactStore(pathlib.Path(root) / "cache")
+        probe = "ab" + "9" * 62
+        store.put(probe, ("post-kill", probe))
+        rec.expect_equal(
+            store.get(probe),
+            ("post-kill", probe),
+            probe[:8],
+            "store round-trip after SIGKILL",
+        )
+
+
+def _raw_exchange(sock_path: str, blob: bytes):
+    """Send raw bytes; return the decoded reply dict, or None on close."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(10.0)
+        sock.connect(sock_path)
+        sock.sendall(blob)
+        # Half-close: the daemon sees EOF instead of waiting out its
+        # whole-frame timeout on deliberately incomplete attacks.
+        sock.shutdown(socket.SHUT_WR)
+        try:
+            return protocol.recv_frame(sock)
+        except Exception:
+            return None  # a clean close is an acceptable outcome
+
+
+@invariant(
+    "serve-protocol-abuse",
+    scope="serve",
+    description="garbage, bad magic, wrong version, oversized and "
+                "truncated frames never take the daemon down",
+    quick=False,
+)
+def _serve_protocol_abuse(ctx: CheckContext, rec: Recorder) -> None:
+    rng = ctx.rng("serve-protocol-abuse")
+    good_body = json.dumps(
+        {"v": 1, "request_id": "x", "kind": "ping", "params": {}}
+    ).encode("utf-8")
+    attacks = [
+        ("garbage", bytes(rng.randrange(256) for _ in range(64))),
+        (
+            "bad-magic",
+            protocol.HEADER.pack(b"EVIL", 1, len(good_body))
+            + good_body,
+        ),
+        (
+            "version-mismatch",
+            protocol.HEADER.pack(protocol.MAGIC, 99, len(good_body))
+            + good_body,
+        ),
+        (
+            "oversized",
+            protocol.HEADER.pack(
+                protocol.MAGIC, protocol.PROTOCOL_VERSION,
+                protocol.DEFAULT_MAX_FRAME_BYTES + 1,
+            ),
+        ),
+        (
+            "bad-json",
+            protocol.HEADER.pack(
+                protocol.MAGIC, protocol.PROTOCOL_VERSION, 5
+            ) + b"{nope",
+        ),
+        (
+            "truncated",
+            protocol.HEADER.pack(
+                protocol.MAGIC, protocol.PROTOCOL_VERSION, 4096
+            ) + b"only-a-little",
+        ),
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as root:
+        with _daemon(root) as (process, sock_path):
+            for name, blob in attacks:
+                reply = _raw_exchange(sock_path, blob)
+                if reply is not None:
+                    rec.expect(
+                        reply.get("status") == "error",
+                        name,
+                        f"expected a typed error reply, got {reply!r}",
+                    )
+                else:
+                    rec.checked_one()  # clean close: acceptable
+                rec.expect(
+                    process.poll() is None,
+                    name,
+                    "daemon process died after this attack",
+                )
+                with ServeClient(sock_path, timeout=10.0) as client:
+                    rec.expect(
+                        client.ping().get("pong") is True,
+                        name,
+                        "daemon stopped answering after this attack",
+                    )
+            # Mid-response disconnect: a client that sends a valid
+            # request and hangs up immediately must not hurt anyone.
+            with socket.socket(
+                socket.AF_UNIX, socket.SOCK_STREAM
+            ) as sock:
+                sock.connect(sock_path)
+                protocol.send_frame(
+                    sock,
+                    protocol.make_request("gone", "ping", {"delay": 0.2}),
+                )
+            time.sleep(0.5)
+            with ServeClient(sock_path, timeout=10.0) as client:
+                rec.expect(
+                    client.ping().get("pong") is True,
+                    "mid-response-disconnect",
+                    "daemon stopped answering after a client vanished "
+                    "mid-response",
+                )

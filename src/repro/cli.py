@@ -20,6 +20,12 @@ Examples::
     python -m repro analyze --program go --inject bad-branch  # exits 1
     python -m repro cache stats
     python -m repro cache clear
+    python -m repro study compress --scheme byte --json
+    python -m repro serve --jobs 4             # long-lived daemon
+    python -m repro client ping
+    python -m repro study compress --via-server --json
+    python -m repro check --via-server --scope structure
+    python -m repro client shutdown
 
 ``run`` and ``suite`` go through the :mod:`repro.runtime` artifact
 cache: a warm invocation recomputes nothing, and ``--jobs N`` fans the
@@ -30,8 +36,11 @@ cold artifact chain out across processes before the rows are rendered.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
+import threading
 
 from repro import runtime
 from repro.core.experiments import EXPERIMENTS
@@ -61,6 +70,28 @@ def _validate_invocation(args) -> None:
         raise ConfigurationError(
             f"--jobs must be a positive process count, got {jobs}"
         )
+    max_inflight = getattr(args, "max_inflight", None)
+    if max_inflight is not None and max_inflight < 1:
+        raise ConfigurationError(
+            f"--max-inflight must be a positive request count, "
+            f"got {max_inflight}"
+        )
+    max_frame = getattr(args, "max_frame_bytes", None)
+    if max_frame is not None and max_frame < 4096:
+        raise ConfigurationError(
+            f"--max-frame-bytes must be at least 4096, got {max_frame}"
+        )
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(
+            f"--timeout must be a positive number of seconds, "
+            f"got {timeout}"
+        )
+    retries = getattr(args, "retries", None)
+    if retries is not None and retries < 0:
+        raise ConfigurationError(
+            f"--retries must be non-negative, got {retries}"
+        )
     problems = environment_problems()
     kernel_problem = kernel_env_problem()
     if kernel_problem:
@@ -83,6 +114,74 @@ def _jobs(args) -> int:
 
 def _emit_json(payload: dict) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+class _Interrupted(BaseException):
+    """SIGTERM arrived; unwind through the drain paths and exit."""
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Map SIGTERM to an exception so batch runs drain instead of dying.
+
+    Raising turns a hard kill into an ordinary unwind: the scheduler's
+    ``except BaseException`` drain cancels queued tasks and waits for
+    running workers (whose store writes are atomic), context managers
+    close, and ``main`` turns the unwind into exit code 130.  Only the
+    main thread may install signal handlers; elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise _Interrupted()
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _socket_path(args):
+    if getattr(args, "socket", None):
+        return args.socket
+    from repro.serve.server import default_socket_path
+
+    return default_socket_path()
+
+
+def _open_client(args):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(
+        _socket_path(args),
+        timeout=getattr(args, "timeout", None) or 300.0,
+    )
+
+
+def _add_client_flags(parser, *, via: bool = False) -> None:
+    """Daemon-connection flags shared by every client-capable command."""
+    if via:
+        parser.add_argument(
+            "--via-server", action="store_true",
+            help="send this request to a running repro daemon instead "
+                 "of computing in-process (results are byte-identical)",
+        )
+    parser.add_argument(
+        "--socket", default=None,
+        help="daemon socket path (default: REPRO_SOCKET or "
+             "<cache dir>/serve.sock)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds to wait for the daemon's reply (default: 300)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="times to retry after a busy reply (default: 0)",
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -251,8 +350,24 @@ def _cmd_bench(args) -> int:
 
 def _cmd_check(args) -> int:
     from repro.check import run_checks
-    from repro.errors import CheckError
+    from repro.errors import CheckError, ServeError
 
+    if args.via_server:
+        try:
+            with _open_client(args) as client:
+                response = client.check(
+                    benchmarks=args.benchmarks,
+                    full=args.full,
+                    seed=args.seed,
+                    scale=args.scale,
+                    inject=list(args.inject or ()),
+                    scopes=args.scope,
+                    retries=args.retries,
+                )
+        except ServeError as exc:
+            print(f"serve error: {exc}", file=sys.stderr)
+            return 2
+        return _client_check_exit(args, response["result"])
     try:
         report = run_checks(
             args.benchmarks or None,
@@ -260,6 +375,7 @@ def _cmd_check(args) -> int:
             seed=args.seed,
             scale=args.scale,
             inject=tuple(args.inject or ()),
+            scopes=args.scope,
             progress=(
                 None
                 if args.json
@@ -290,9 +406,28 @@ def _cmd_analyze(args) -> int:
         analyze_suite,
         corrupt_branch_target,
     )
-    from repro.errors import AnalysisError
+    from repro.errors import AnalysisError, ServeError
 
     _apply_runtime_flags(args)
+    if args.via_server:
+        if args.inject:
+            print(
+                "analysis error: --inject is a local diagnostic and "
+                "cannot be combined with --via-server",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with _open_client(args) as client:
+                response = client.analyze(
+                    programs=args.programs,
+                    scale=args.scale,
+                    retries=args.retries,
+                )
+        except ServeError as exc:
+            print(f"serve error: {exc}", file=sys.stderr)
+            return 2
+        return _client_analyze_exit(args, response["result"])
     fail_on = Severity.parse(args.fail_on)
     names = tuple(args.programs or BENCHMARK_NAMES)
     progress = (
@@ -362,7 +497,222 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _render_study(payload: dict) -> str:
+    study = payload["study"]
+    rows = [
+        ["benchmark", study["benchmark"]],
+        ["scale", study["scale"]],
+        ["oracle", "ok" if study["checksum_ok"] else "MISMATCH"],
+        ["static ops", study["static_ops"]],
+        ["dynamic mops", study["dynamic_mops"]],
+        ["machine digest", study["machine_digest"][:16]],
+    ]
+    for stage, digest in sorted(study["artifacts"].items()):
+        rows.append([f"artifact {stage}", digest[:16]])
+    for scheme, result in sorted(study["schemes"].items()):
+        rows.append(
+            [f"scheme {scheme}", f"{result['total_code_bytes']} B"]
+        )
+    return format_table(
+        ["field", "value"], rows,
+        title=f"Study ({study['benchmark']})",
+    )
+
+
+def _finish_study(args, payload: dict) -> int:
+    if args.json:
+        _emit_json(payload)
+    else:
+        print(_render_study(payload))
+        metrics = payload.get("metrics")
+        if metrics is not None:
+            report = runtime.RuntimeReport()
+            report.merge_json(metrics)
+            print()
+            print(report.render())
+    if not payload["study"]["checksum_ok"]:
+        print(
+            f"checksum MISMATCH against the pure-Python oracle: "
+            f"{payload['study']['benchmark']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from repro.errors import ServeError
+
+    _apply_runtime_flags(args)
+    schemes = tuple(args.schemes or ())
+    if args.via_server:
+        try:
+            with _open_client(args) as client:
+                response = client.study(
+                    args.benchmark, args.scale, schemes,
+                    retries=args.retries,
+                )
+        except ServeError as exc:
+            print(f"serve error: {exc}", file=sys.stderr)
+            return 2
+        payload = {
+            "study": response["result"],
+            "metrics": response.get("metrics"),
+            "dedup": response.get("dedup"),
+        }
+    else:
+        from repro.serve.handlers import study_payload
+
+        try:
+            payload = {
+                "study": study_payload(
+                    args.benchmark, args.scale, schemes
+                ),
+                "metrics": runtime.REPORT.to_json(),
+            }
+        except ConfigurationError as exc:
+            print(f"configuration error: {exc}", file=sys.stderr)
+            return 2
+    return _finish_study(args, payload)
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ReproError
+    from repro.serve.server import serve
+
+    _apply_runtime_flags(args)
+    try:
+        return serve(
+            args.socket,
+            jobs=_jobs(args),
+            max_inflight=args.max_inflight,
+            max_frame_bytes=args.max_frame_bytes,
+        )
+    except ReproError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _client_check_exit(args, payload: dict) -> int:
+    from repro.check.runner import CheckReport
+
+    report = CheckReport.from_json(payload)
+    if args.json:
+        _emit_json(payload)
+    else:
+        print(report.render())
+    if not report.ok:
+        names = ", ".join(o.name for o in report.failing)
+        print(f"invariant violation(s): {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _client_analyze_exit(args, payload: dict) -> int:
+    from repro.analysis import AnalysisReport, Severity
+
+    report = AnalysisReport.from_json(payload)
+    if args.json:
+        _emit_json(payload)
+    else:
+        print(report.render())
+    fail_on = Severity.parse(getattr(args, "fail_on", "error"))
+    findings = report.at_least(fail_on)
+    if findings:
+        print(
+            f"{len(findings)} finding(s) at or above "
+            f"severity {fail_on.value}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """Thin protocol clients: every subcommand is one daemon request."""
+    from repro.errors import RemoteError, ServeError, ServerBusy
+
+    command = args.client_command
+    try:
+        with _open_client(args) as client:
+            if command == "ping":
+                _emit_json(client.ping(
+                    delay=args.delay, tag=args.tag or ""
+                ))
+                return 0
+            if command == "cache-stats":
+                _emit_json(client.cache_stats())
+                return 0
+            if command == "shutdown":
+                _emit_json(client.shutdown())
+                return 0
+            if command == "study":
+                response = client.study(
+                    args.benchmark, args.scale,
+                    tuple(args.schemes or ()), retries=args.retries,
+                )
+                return _finish_study(
+                    args,
+                    {
+                        "study": response["result"],
+                        "metrics": response.get("metrics"),
+                        "dedup": response.get("dedup"),
+                    },
+                )
+            if command == "check":
+                response = client.check(
+                    benchmarks=args.benchmarks,
+                    full=args.full,
+                    seed=args.seed,
+                    scale=args.scale,
+                    inject=list(args.inject or ()),
+                    scopes=args.scopes,
+                    retries=args.retries,
+                )
+                return _client_check_exit(args, response["result"])
+            if command == "analyze":
+                response = client.analyze(
+                    programs=args.programs,
+                    scale=args.scale,
+                    retries=args.retries,
+                )
+                return _client_analyze_exit(args, response["result"])
+            if command == "bench":
+                response = client.bench(
+                    names=args.names or None,
+                    quick=args.quick,
+                    repeats=args.repeats,
+                    retries=args.retries,
+                )
+                payload = response["result"]
+                if args.json:
+                    _emit_json(payload)
+                else:
+                    summary = payload["summary"]
+                    print("summary: " + ", ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(summary.items())
+                    ))
+                return 0 if payload["summary"]["all_identical"] else 1
+            raise AssertionError(f"unhandled client command {command!r}")
+    except ServerBusy as exc:
+        print(
+            f"server busy: {exc} (retry after {exc.retry_after}s)",
+            file=sys.stderr,
+        )
+        return 3
+    except RemoteError as exc:
+        print(f"remote error: {exc}", file=sys.stderr)
+        return 2
+    except ServeError as exc:
+        print(f"serve error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.check.registry import SCOPES
+    from repro.serve.protocol import DEFAULT_MAX_FRAME_BYTES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce Larin & Conte (MICRO 1999) experiments.",
@@ -464,9 +814,17 @@ def main(argv: list[str] | None = None) -> int:
              "invariant must fail (CI proves non-zero exit)",
     )
     check.add_argument(
+        "--scope", action="append", default=None, choices=SCOPES,
+        metavar="SCOPE",
+        help="restrict to one registry scope (repeatable; e.g. "
+             "--scope serve runs only the daemon fault invariants; "
+             f"scopes: {', '.join(SCOPES)})",
+    )
+    check.add_argument(
         "--json", action="store_true",
         help="emit the invariant report as JSON",
     )
+    _add_client_flags(check, via=True)
 
     analyze = sub.add_parser(
         "analyze",
@@ -503,6 +861,141 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit the diagnostics report as JSON",
     )
+    _add_client_flags(analyze, via=True)
+
+    study = sub.add_parser(
+        "study",
+        help="every deterministic observable of one program study",
+    )
+    study.add_argument("benchmark", help="|".join(BENCHMARK_NAMES))
+    study.add_argument("--scale", type=int, default=None)
+    study.add_argument(
+        "--scheme", dest="schemes", action="append", default=None,
+        metavar="KEY",
+        help="also compress with this scheme (repeatable)",
+    )
+    study.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    study.add_argument(
+        "--json", action="store_true",
+        help="emit the study payload and stage metrics as JSON",
+    )
+    _add_client_flags(study, via=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived study daemon on a Unix socket",
+    )
+    serve.add_argument(
+        "--socket", default=None,
+        help="socket path (default: REPRO_SOCKET or "
+             "<cache dir>/serve.sock)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for cold study requests "
+             "(default: REPRO_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="distinct requests admitted at once before replying "
+             "busy (default: 8; joining an identical in-flight "
+             "request never counts)",
+    )
+    serve.add_argument(
+        "--max-frame-bytes", type=int,
+        default=DEFAULT_MAX_FRAME_BYTES,
+        help="reject request frames larger than this "
+             f"(default: {DEFAULT_MAX_FRAME_BYTES})",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent artifact cache "
+             "(forces --jobs 1 semantics per request)",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="issue one request to a running repro daemon",
+    )
+    csub = client.add_subparsers(dest="client_command", required=True)
+
+    cping = csub.add_parser("ping", help="health-check the daemon")
+    cping.add_argument(
+        "--delay", type=float, default=0,
+        help="server-side sleep in seconds (scheduling probe)",
+    )
+    cping.add_argument(
+        "--tag", default=None,
+        help="opaque discriminator (distinct tags defeat dedup)",
+    )
+    _add_client_flags(cping)
+
+    cstudy = csub.add_parser(
+        "study", help="run one study on the daemon"
+    )
+    cstudy.add_argument("benchmark", help="|".join(BENCHMARK_NAMES))
+    cstudy.add_argument("--scale", type=int, default=None)
+    cstudy.add_argument(
+        "--scheme", dest="schemes", action="append", default=None,
+        metavar="KEY",
+    )
+    cstudy.add_argument("--json", action="store_true")
+    _add_client_flags(cstudy)
+
+    cbench = csub.add_parser(
+        "bench", help="run kernel benchmarks on the daemon"
+    )
+    cbench.add_argument("names", nargs="*")
+    cbench.add_argument("--quick", action="store_true")
+    cbench.add_argument("--repeats", type=int, default=None)
+    cbench.add_argument("--json", action="store_true")
+    _add_client_flags(cbench)
+
+    ccheck = csub.add_parser(
+        "check", help="run the invariant registry on the daemon"
+    )
+    ccheck.add_argument("--benchmarks", nargs="*", default=None)
+    ccheck.add_argument("--full", action="store_true")
+    ccheck.add_argument("--seed", type=int, default=1999)
+    ccheck.add_argument("--scale", type=int, default=None)
+    ccheck.add_argument(
+        "--inject", action="append", default=None,
+        choices=("roundtrip", "conservation"),
+    )
+    ccheck.add_argument(
+        "--scope", dest="scopes", action="append", default=None,
+        choices=SCOPES, metavar="SCOPE",
+    )
+    ccheck.add_argument("--json", action="store_true")
+    _add_client_flags(ccheck)
+
+    canalyze = csub.add_parser(
+        "analyze", help="run the static verifier on the daemon"
+    )
+    canalyze.add_argument(
+        "--program", dest="programs", action="append", default=None,
+        metavar="NAME",
+    )
+    canalyze.add_argument("--scale", type=int, default=None)
+    canalyze.add_argument(
+        "--fail-on", dest="fail_on",
+        choices=("warning", "error"), default="error",
+    )
+    canalyze.add_argument("--json", action="store_true")
+    _add_client_flags(canalyze)
+
+    cstats = csub.add_parser(
+        "cache-stats", help="store + request-table snapshot"
+    )
+    _add_client_flags(cstats)
+
+    cshutdown = csub.add_parser(
+        "shutdown", help="ask the daemon to drain and exit"
+    )
+    _add_client_flags(cshutdown)
 
     cache = sub.add_parser("cache", help="inspect or clear the artifact "
                                           "cache")
@@ -517,7 +1010,7 @@ def main(argv: list[str] | None = None) -> int:
     except ConfigurationError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)
         return 2
-    return {
+    handler = {
         "list": _cmd_list,
         "run": _cmd_run,
         "suite": _cmd_suite,
@@ -525,7 +1018,23 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "analyze": _cmd_analyze,
         "cache": _cmd_cache,
-    }[args.command](args)
+        "study": _cmd_study,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
+    }[args.command]
+    if args.command == "serve":
+        # The daemon installs its own SIGTERM/SIGINT drain handlers.
+        return handler(args)
+    try:
+        with _graceful_sigterm():
+            return handler(args)
+    except (KeyboardInterrupt, _Interrupted):
+        print(
+            "interrupted: drained in-flight tasks, cache left "
+            "consistent",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ from repro.runtime.metrics import (
     REPORT,
     RuntimeReport,
     StageMetrics,
+    capture,
     reset_metrics,
 )
 from repro.runtime.store import (
@@ -65,6 +66,7 @@ __all__ = [
     "StageMetrics",
     "StoreStats",
     "artifact_digest",
+    "capture",
     "config_from_env",
     "configure",
     "default_store",

@@ -4,14 +4,30 @@ Every pass through :func:`repro.runtime.get_or_compute` records into the
 process-global :data:`REPORT`; scheduler workers return their report as
 JSON and the parent merges it, so ``repro run figN --jobs 8`` still ends
 with one coherent :class:`RuntimeReport`.
+
+:func:`capture` additionally tees everything recorded against
+:data:`REPORT` *in the current execution context* into a private report:
+the serve daemon wraps each request handler in a capture so one
+process-global collector still exists (daemon-lifetime totals) while
+every response carries its own per-request stage metrics.  The tee is a
+:class:`contextvars.ContextVar`, so concurrent handler threads capture
+only their own stage activity.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.utils.tables import format_table
+
+#: Reports that the current execution context tees :data:`REPORT`
+#: records into (innermost last); managed only by :func:`capture`.
+_captures: ContextVar[Tuple["RuntimeReport", ...]] = ContextVar(
+    "repro_metric_captures", default=()
+)
 
 #: Stage presentation order in reports (pipeline order).
 STAGE_ORDER = ("compile", "trace", "compress", "fetch")
@@ -62,6 +78,12 @@ class RuntimeReport:
             self.stages[name] = StageMetrics(name)
         return self.stages[name]
 
+    def _tees(self) -> Tuple["RuntimeReport", ...]:
+        """Capture reports to mirror into (only the global REPORT tees)."""
+        if self is REPORT:
+            return _captures.get()
+        return ()
+
     def record(
         self,
         stage: str,
@@ -79,6 +101,14 @@ class RuntimeReport:
         metrics.seconds += seconds
         metrics.bytes_read += bytes_read
         metrics.bytes_written += bytes_written
+        for tee in self._tees():
+            tee.record(
+                stage,
+                hit=hit,
+                seconds=seconds,
+                bytes_read=bytes_read,
+                bytes_written=bytes_written,
+            )
 
     def record_failure(
         self, stage: str, task_id: str, error: str
@@ -88,6 +118,8 @@ class RuntimeReport:
         self.failures.append(
             {"stage": stage, "task_id": task_id, "error": error}
         )
+        for tee in self._tees():
+            tee.record_failure(stage, task_id, error)
 
     # ------------------------------------------------------- aggregates
     @property
@@ -164,6 +196,8 @@ class RuntimeReport:
 
     def merge_json(self, payload: dict) -> None:
         """Fold a worker's ``to_json()`` output into this report."""
+        for tee in self._tees():
+            tee.merge_json(payload)
         for name, counters in (payload or {}).get("stages", {}).items():
             metrics = self.stage(name)
             metrics.hits += int(counters.get("hits", 0))
@@ -185,3 +219,21 @@ REPORT = RuntimeReport()
 
 def reset_metrics() -> None:
     REPORT.reset()
+
+
+@contextmanager
+def capture():
+    """Tee everything recorded against :data:`REPORT` into a new report.
+
+    Yields the private :class:`RuntimeReport`; on exit the tee is
+    removed.  Captures nest (inner captures see the same records) and
+    are context-local, so concurrent threads never see each other's
+    stage activity.  The global :data:`REPORT` keeps recording
+    normally — a capture observes, it does not divert.
+    """
+    report = RuntimeReport()
+    token = _captures.set(_captures.get() + (report,))
+    try:
+        yield report
+    finally:
+        _captures.reset(token)

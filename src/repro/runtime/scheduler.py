@@ -147,21 +147,31 @@ def execute_graph(
                 del remaining[task_id]
                 futures[pool.submit(_pool_run, graph[task_id])] = task_id
 
-        submit_ready()
-        while futures:
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                task_id = futures.pop(future)
-                result = future.result()
-                results.append(result)
-                REPORT.merge_json(result.report)
-                if not result.ok:
-                    failed = True
-                    continue
-                for dependent in dependents.get(task_id, ()):
-                    remaining.get(dependent, set()).discard(task_id)
-            if not failed:
-                submit_ready()
+        try:
+            submit_ready()
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task_id = futures.pop(future)
+                    result = future.result()
+                    results.append(result)
+                    REPORT.merge_json(result.report)
+                    if not result.ok:
+                        failed = True
+                        continue
+                    for dependent in dependents.get(task_id, ()):
+                        remaining.get(dependent, set()).discard(task_id)
+                if not failed:
+                    submit_ready()
+        except BaseException:
+            # Graceful drain on interruption (SIGTERM/SIGINT mapped to
+            # an exception by the CLI, or any parent-side error): cancel
+            # everything still queued but let the tasks already running
+            # finish their atomic store writes before the pool goes
+            # away.  Artifacts persisted so far stay valid — content
+            # addressing makes the next run pick them up.
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
     if failed:
         errors = [r for r in results if not r.ok]
         for result in errors:

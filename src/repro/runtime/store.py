@@ -21,7 +21,15 @@ damaged in place.  Guarantees:
   a clean miss, and a corrupt entry is only dropped if it is still the
   same file that was read (never a just-rewritten good entry);
 * **LRU size cap** — entry mtimes are refreshed on hit, and writes evict
-  least-recently-used entries until the store fits ``max_bytes``.
+  least-recently-used entries until the store fits ``max_bytes``;
+* **cross-process maintenance lock** — eviction and ``clear()`` take an
+  exclusive ``flock`` on ``<root>/.lock`` while reads hold it shared, so
+  a serving daemon's evictor and a concurrent CLI invocation cannot
+  unlink an entry out from under an in-progress read (and two evictors
+  cannot interleave their walks).  The lock is advisory and best-effort:
+  on filesystems or platforms without ``flock`` the store falls back to
+  the old single-owner behavior, whose failure mode is still only a
+  clean miss.
 """
 
 from __future__ import annotations
@@ -31,8 +39,14 @@ import os
 import pathlib
 import pickle
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Tuple
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 from repro.runtime.config import runtime_config
 
@@ -71,6 +85,38 @@ class ArtifactStore:
     def path_for(self, digest: str) -> pathlib.Path:
         return self._objects / digest[:2] / f"{digest}.pkl"
 
+    @contextmanager
+    def _locked(self, *, exclusive: bool):
+        """Advisory cross-process lock over store maintenance.
+
+        Readers hold it shared; eviction and ``clear()`` hold it
+        exclusive.  Yields whether the lock was actually taken — any
+        failure to create or flock the lock file degrades to unlocked
+        operation (the store's read path already tolerates races; the
+        lock only removes them where the platform cooperates).
+        """
+        if fcntl is None:
+            yield False
+            return
+        fd = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self.root / ".lock", os.O_RDWR | os.O_CREAT, 0o644
+            )
+            fcntl.flock(
+                fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+            )
+        except OSError:
+            if fd is not None:
+                os.close(fd)
+            yield False
+            return
+        try:
+            yield True
+        finally:
+            os.close(fd)  # closing the descriptor releases the flock
+
     def _iter_entries(self):
         # Every directory operation tolerates a concurrent evictor or
         # ``clear()`` racing with the walk: a vanished shard or entry is
@@ -100,36 +146,42 @@ class ArtifactStore:
         """
         path = self.path_for(digest)
         inode = None
-        try:
-            with open(path, "rb") as fh:
-                try:
-                    inode = os.fstat(fh.fileno()).st_ino
-                except OSError:
-                    inode = None
-                envelope = pickle.load(fh)
-            if (
-                not isinstance(envelope, dict)
-                or envelope.get("magic") != ENVELOPE_MAGIC
-                or envelope.get("version") != ENVELOPE_VERSION
-                or envelope.get("digest") != digest
-            ):
-                raise ValueError("bad envelope")
-            blob = envelope["payload"]
-            if not isinstance(blob, bytes):
-                raise ValueError("payload is not a byte string")
-            if hashlib.sha256(blob).hexdigest() != envelope.get("sha256"):
-                raise ValueError("payload checksum mismatch")
-            payload = pickle.loads(blob)
-        except FileNotFoundError:
-            return MISS
-        except Exception:
-            self._discard_if_unchanged(path, inode)
-            return MISS
-        try:
-            os.utime(path)  # refresh LRU recency (entry may be evicted)
-        except OSError:
-            pass
-        return payload
+        # The shared side of the maintenance lock: a concurrent evictor
+        # or ``clear()`` (exclusive holders) waits until this read is
+        # done instead of unlinking the entry mid-validation.
+        with self._locked(exclusive=False):
+            try:
+                with open(path, "rb") as fh:
+                    try:
+                        inode = os.fstat(fh.fileno()).st_ino
+                    except OSError:
+                        inode = None
+                    envelope = pickle.load(fh)
+                if (
+                    not isinstance(envelope, dict)
+                    or envelope.get("magic") != ENVELOPE_MAGIC
+                    or envelope.get("version") != ENVELOPE_VERSION
+                    or envelope.get("digest") != digest
+                ):
+                    raise ValueError("bad envelope")
+                blob = envelope["payload"]
+                if not isinstance(blob, bytes):
+                    raise ValueError("payload is not a byte string")
+                if hashlib.sha256(blob).hexdigest() != envelope.get(
+                    "sha256"
+                ):
+                    raise ValueError("payload checksum mismatch")
+                payload = pickle.loads(blob)
+            except FileNotFoundError:
+                return MISS
+            except Exception:
+                self._discard_if_unchanged(path, inode)
+                return MISS
+            try:
+                os.utime(path)  # refresh LRU recency (entry may be evicted)
+            except OSError:
+                pass
+            return payload
 
     def size_of(self, digest: str) -> int:
         """On-disk byte size of an entry (0 if absent)."""
@@ -199,27 +251,31 @@ class ArtifactStore:
 
         The just-written entry (``keep``) is never evicted, so a single
         oversized artifact may leave the store temporarily above cap.
+        Runs under the exclusive maintenance lock: in-progress readers
+        (shared holders) finish before anything is unlinked, and two
+        evicting processes serialize their walks.
         """
         if not self.max_bytes or self.max_bytes <= 0:
             return
-        entries = []
-        total = 0
-        for path in self._iter_entries():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-            total += stat.st_size
-        if total <= self.max_bytes:
-            return
-        for _, size, path in sorted(entries, key=lambda e: e[0]):
-            if keep is not None and path == keep:
-                continue
-            self._discard(path)
-            total -= size
+        with self._locked(exclusive=True):
+            entries = []
+            total = 0
+            for path in self._iter_entries():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
             if total <= self.max_bytes:
                 return
+            for _, size, path in sorted(entries, key=lambda e: e[0]):
+                if keep is not None and path == keep:
+                    continue
+                self._discard(path)
+                total -= size
+                if total <= self.max_bytes:
+                    return
 
     def stats(self) -> StoreStats:
         entries = 0
@@ -238,11 +294,17 @@ class ArtifactStore:
         )
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were dropped."""
+        """Remove every entry; returns how many were dropped.
+
+        Takes the exclusive maintenance lock so a ``repro cache clear``
+        racing a serving daemon waits for in-progress reads instead of
+        unlinking entries mid-validation.
+        """
         dropped = 0
-        for path in list(self._iter_entries()):
-            self._discard(path)
-            dropped += 1
+        with self._locked(exclusive=True):
+            for path in list(self._iter_entries()):
+                self._discard(path)
+                dropped += 1
         return dropped
 
 

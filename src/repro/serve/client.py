@@ -1,0 +1,180 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+:class:`ServeClient` owns one connection and issues sequential
+requests; the thin CLI clients (``repro client ...`` and the
+``--via-server`` flag on batch subcommands) are built on it.
+
+Error mapping: a ``busy`` reply raises :class:`~repro.errors.ServerBusy`
+(carrying the server's suggested ``retry_after``); a typed ``error``
+reply raises :class:`~repro.errors.RemoteError`; malformed wire traffic
+raises :class:`~repro.errors.ProtocolError`.  :meth:`ServeClient.call`
+layers bounded busy-retry with backoff on top for callers that prefer
+waiting over failing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import time
+from typing import Optional
+
+from repro.errors import ProtocolError, RemoteError, ServeError, ServerBusy
+from repro.serve import protocol
+
+_request_counter = itertools.count(1)
+
+
+def _next_request_id() -> str:
+    return f"{os.getpid()}-{next(_request_counter)}"
+
+
+class ServeClient:
+    """One connection to a daemon; usable as a context manager."""
+
+    def __init__(
+        self,
+        socket_path,
+        *,
+        timeout: float = 300.0,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------- connection
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except OSError as exc:
+            sock.close()
+            raise ServeError(
+                f"cannot reach a repro daemon at {self.socket_path}: "
+                f"{exc} (is `repro serve` running?)"
+            ) from exc
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- request
+    def request(self, kind: str, params: Optional[dict] = None) -> dict:
+        """One request/response exchange; returns the full ok response."""
+        self.connect()
+        request_id = _next_request_id()
+        protocol.send_frame(
+            self._sock,
+            protocol.make_request(request_id, kind, params or {}),
+            max_frame_bytes=self.max_frame_bytes,
+        )
+        try:
+            response = protocol.recv_frame(
+                self._sock, max_frame_bytes=self.max_frame_bytes
+            )
+        except socket.timeout as exc:
+            raise ServeError(
+                f"daemon did not answer within {self.timeout}s"
+            ) from exc
+        if response is None:
+            raise ProtocolError(
+                "truncated-frame",
+                "daemon closed the connection without replying",
+            )
+        status = response.get("status")
+        if status == "busy":
+            error = response.get("error") or {}
+            raise ServerBusy(
+                error.get("message", "server busy"),
+                retry_after=float(response.get("retry_after", 0.5)),
+            )
+        if status == "error":
+            error = response.get("error") or {}
+            raise RemoteError(
+                error.get("type", "unknown"),
+                error.get("message", "unknown server error"),
+            )
+        if status != "ok":
+            raise ProtocolError(
+                "bad-request", f"daemon sent unknown status {status!r}"
+            )
+        got = response.get("request_id")
+        if got is not None and got != request_id:
+            raise ProtocolError(
+                "bad-request",
+                f"response for request {got!r} arrived while waiting "
+                f"for {request_id!r}",
+            )
+        return response
+
+    def call(
+        self,
+        kind: str,
+        params: Optional[dict] = None,
+        *,
+        retries: int = 0,
+    ) -> dict:
+        """Like :meth:`request`, retrying ``busy`` up to ``retries`` times."""
+        attempt = 0
+        while True:
+            try:
+                return self.request(kind, params)
+            except ServerBusy as busy:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(max(0.05, busy.retry_after))
+
+    # ------------------------------------------------------ conveniences
+    def ping(self, **params) -> dict:
+        return self.request("ping", params)["result"]
+
+    def study(
+        self,
+        benchmark: str,
+        scale: Optional[int] = None,
+        schemes=(),
+        *,
+        retries: int = 0,
+    ) -> dict:
+        return self.call(
+            "study",
+            {
+                "benchmark": benchmark,
+                "scale": scale,
+                "schemes": list(schemes),
+            },
+            retries=retries,
+        )
+
+    def check(self, *, retries: int = 0, **params) -> dict:
+        return self.call("check", params, retries=retries)
+
+    def analyze(self, *, retries: int = 0, **params) -> dict:
+        return self.call("analyze", params, retries=retries)
+
+    def bench(self, *, retries: int = 0, **params) -> dict:
+        return self.call("bench", params, retries=retries)
+
+    def cache_stats(self) -> dict:
+        return self.request("cache-stats")["result"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")["result"]

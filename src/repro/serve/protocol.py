@@ -1,0 +1,229 @@
+"""The JSON-framed socket protocol spoken by ``repro serve``.
+
+A *frame* is a fixed 9-byte header followed by a UTF-8 JSON body::
+
+    +--------+---------+------------------+----------------------+
+    | magic  | version | body length      | body (JSON, UTF-8)   |
+    | 4 B    | 1 B     | 4 B big-endian   | <= max_frame_bytes   |
+    +--------+---------+------------------+----------------------+
+
+The magic (``b"RPRO"``) rejects foreign byte streams before any JSON is
+parsed; the version byte makes incompatible revisions an explicit typed
+error instead of a parse failure; the length prefix lets both sides read
+exactly one message without scanning for delimiters.  ``max_frame_bytes``
+is enforced on *declared* length before any body bytes are read, so an
+adversarial header cannot make the daemon allocate unbounded memory.
+
+Requests and responses are plain dicts:
+
+* request — ``{"request_id": str, "kind": str, "params": {...}}`` with
+  ``kind`` one of :data:`KINDS`;
+* response — ``{"request_id", "status": "ok"|"error"|"busy", ...}`` where
+  ``ok`` carries ``result`` (and per-request stage ``metrics`` plus a
+  ``dedup`` note for deduplicated kinds), ``error`` carries a typed
+  ``{"type", "message"}`` error object, and ``busy`` carries
+  ``retry_after`` seconds (admission control).
+
+Every violation raises :class:`~repro.errors.ProtocolError` with a
+machine-readable ``code``; :data:`RECOVERABLE_CODES` names the ones after
+which the byte stream is still in sync (a complete frame was consumed)
+so a server may answer with a typed error and keep the connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolError
+
+#: First bytes of every frame; anything else is not this protocol.
+MAGIC = b"RPRO"
+#: Bump on incompatible frame or message layout changes.
+PROTOCOL_VERSION = 1
+#: Frame header: magic, version, body length.
+HEADER = struct.Struct(">4sBI")
+#: Default ceiling on a frame body (requests and responses alike).
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Request kinds the daemon understands, in documentation order.
+KINDS = (
+    "study",
+    "bench",
+    "check",
+    "analyze",
+    "cache-stats",
+    "ping",
+    "shutdown",
+)
+
+#: Protocol-error codes after which the connection byte stream is still
+#: framed correctly (one whole frame was consumed), so the peer can be
+#: answered and kept; every other code means the stream is unsynchronized
+#: (or truncated) and the connection must be closed.
+RECOVERABLE_CODES = frozenset(
+    {"bad-json", "bad-request", "unknown-kind", "bad-params"}
+)
+
+
+def encode_frame(
+    message: dict, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize one message into a wire frame."""
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            "frame-too-large",
+            f"outgoing frame of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit",
+        )
+    return HEADER.pack(MAGIC, PROTOCOL_VERSION, len(body)) + body
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at offset 0.
+
+    EOF anywhere *inside* the span is a ``truncated-frame`` protocol
+    error — the peer hung up mid-message.
+    """
+    chunks = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                "truncated-frame",
+                f"peer closed the connection {received}/{count} bytes "
+                "into a frame",
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[dict]:
+    """Read and decode one frame; ``None`` on clean EOF between frames."""
+    header = _recv_exactly(sock, HEADER.size)
+    if header is None:
+        return None
+    magic, version, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            "bad-magic",
+            f"frame does not start with {MAGIC!r} (got {magic!r})",
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "version-mismatch",
+            f"peer speaks protocol version {version}, "
+            f"this side speaks {PROTOCOL_VERSION}",
+        )
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            "frame-too-large",
+            f"declared body of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit",
+        )
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError(
+            "truncated-frame", "peer closed the connection before the body"
+        )
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            "bad-json", f"frame body is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"frame body must be a JSON object, got "
+            f"{type(message).__name__}",
+        )
+    return message
+
+
+def send_frame(
+    sock: socket.socket,
+    message: dict,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    sock.sendall(encode_frame(message, max_frame_bytes=max_frame_bytes))
+
+
+# ----------------------------------------------------------- messages
+def validate_request(message: dict) -> Tuple[str, str, dict]:
+    """``(request_id, kind, params)`` of a request, or a typed error."""
+    request_id = message.get("request_id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError(
+            "bad-request", "request_id must be a non-empty string"
+        )
+    kind = message.get("kind")
+    if not isinstance(kind, str):
+        raise ProtocolError("bad-request", "kind must be a string")
+    if kind not in KINDS:
+        raise ProtocolError(
+            "unknown-kind",
+            f"unknown kind {kind!r} (expected one of: {', '.join(KINDS)})",
+        )
+    params = message.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            "bad-request", "params must be a JSON object when present"
+        )
+    return request_id, kind, params
+
+
+def make_request(request_id: str, kind: str, params: dict) -> dict:
+    return {"request_id": request_id, "kind": kind, "params": params}
+
+
+def make_ok(
+    request_id: Optional[str],
+    result,
+    *,
+    metrics: Optional[dict] = None,
+    dedup: Optional[dict] = None,
+) -> dict:
+    response = {"request_id": request_id, "status": "ok", "result": result}
+    if metrics is not None:
+        response["metrics"] = metrics
+    if dedup is not None:
+        response["dedup"] = dedup
+    return response
+
+
+def make_error(
+    request_id: Optional[str], error_type: str, message: str
+) -> dict:
+    return {
+        "request_id": request_id,
+        "status": "error",
+        "error": {"type": error_type, "message": message},
+    }
+
+
+def make_busy(
+    request_id: Optional[str], message: str, retry_after: float
+) -> dict:
+    return {
+        "request_id": request_id,
+        "status": "busy",
+        "error": {"type": "busy", "message": message},
+        "retry_after": retry_after,
+    }

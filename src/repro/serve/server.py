@@ -1,0 +1,406 @@
+"""The ``repro serve`` daemon: one warm store, many callers.
+
+A :class:`ReproServer` listens on a Unix domain socket speaking the
+JSON-framed protocol of :mod:`repro.serve.protocol`.  It owns the
+process's warm :class:`~repro.runtime.store.ArtifactStore` handle, the
+in-process study memo, and a worker pool, so every caller shares one
+compile/trace/compress amortization domain:
+
+* each accepted connection gets a reader thread that may issue any
+  number of sequential requests;
+* computational kinds (study, bench, check, analyze, delayed ping) are
+  routed through a :class:`~repro.serve.session.JobTable` — identical
+  in-flight requests share one execution, and a full table produces an
+  explicit ``busy`` reply with ``retry_after`` instead of an unbounded
+  queue;
+* every job runs under :func:`repro.runtime.metrics.capture`, so each
+  response carries the stage metrics of exactly the work done on its
+  behalf (a warm hit shows ``hits`` and no ``misses``; a deduplicated
+  waiter shows the single shared execution's metrics);
+* protocol violations produce typed error replies where the byte stream
+  is still in sync and a clean connection close where it is not — a
+  malformed client can never take the daemon down;
+* SIGTERM/SIGINT (or a ``shutdown`` request) drain: the listener closes,
+  in-flight jobs run to completion, their waiters receive their
+  responses, the socket file is removed, and the process exits 0.  Store
+  writes are atomic, so draining guarantees no half-written envelopes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import select
+import signal
+import socket
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro import runtime
+from repro.errors import ProtocolError, ReproError
+from repro.serve import protocol
+from repro.serve.handlers import HANDLERS, ServerContext
+from repro.serve.session import Job, JobTable
+
+#: Suggested client back-off when the daemon rejects under load.
+DEFAULT_RETRY_AFTER = 0.5
+#: Poll interval of the accept/read loops (shutdown responsiveness).
+_POLL_SECONDS = 0.2
+
+
+def default_socket_path() -> pathlib.Path:
+    """``$REPRO_SOCKET`` or ``<cache_dir>/serve.sock``."""
+    env = os.environ.get("REPRO_SOCKET")
+    if env:
+        return pathlib.Path(env)
+    return runtime.runtime_config().cache_dir / "serve.sock"
+
+
+class ReproServer:
+    """Long-running study service over a Unix domain socket."""
+
+    def __init__(
+        self,
+        socket_path: Optional[os.PathLike] = None,
+        *,
+        jobs: int = 1,
+        max_inflight: int = 8,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if max_frame_bytes < 1024:
+            raise ValueError("max_frame_bytes must be >= 1024")
+        self.socket_path = pathlib.Path(
+            socket_path if socket_path is not None
+            else default_socket_path()
+        )
+        self.max_frame_bytes = max_frame_bytes
+        self.retry_after = retry_after
+        self.context = ServerContext(jobs=jobs)
+        self.jobs_table = JobTable(max_inflight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-serve"
+        )
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: list = []
+        self._connections_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Bind the socket and start accepting (returns immediately)."""
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            # A stale socket from a crashed daemon: refuse to steal a
+            # *live* one, silently replace a dead one.
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(0.5)
+                probe.connect(str(self.socket_path))
+            except OSError:
+                self.socket_path.unlink(missing_ok=True)
+            else:
+                probe.close()
+                raise ReproError(
+                    f"another daemon is already serving on "
+                    f"{self.socket_path}"
+                )
+            finally:
+                probe.close()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(64)
+        listener.settimeout(_POLL_SECONDS)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self, *, install_signals: bool = True) -> int:
+        """Run until a signal or ``shutdown`` request; 0 on clean drain.
+
+        ``install_signals`` hooks SIGTERM/SIGINT to a graceful drain
+        (only possible from the main thread; tests driving the server
+        from a thread pass ``False`` and call :meth:`stop` themselves).
+        """
+        previous = {}
+        if install_signals and (
+            threading.current_thread() is threading.main_thread()
+        ):
+            def _drain(signum, frame):
+                self._stopping.set()
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous[signum] = signal.signal(signum, _drain)
+        try:
+            if self._listener is None:
+                self.start()
+            self._stopping.wait()
+            self.stop()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        return 0
+
+    def stop(self) -> None:
+        """Drain in-flight work and release the socket (idempotent)."""
+        self._stopping.set()
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        # Every queued/running job completes; their waiters are blocked
+        # connection threads that then write the responses out.
+        self._executor.shutdown(wait=True)
+        with self._connections_lock:
+            threads = list(self._connections)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set()
+
+    # ------------------------------------------------------------- accept
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            with self._connections_lock:
+                self._connections = [
+                    t for t in self._connections if t.is_alive()
+                ]
+                self._connections.append(thread)
+            thread.start()
+
+    # --------------------------------------------------------- connection
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                # Wait for the *start* of a frame with a short poll (so
+                # shutdown is responsive), then read the whole frame
+                # under one long timeout — never a short timeout
+                # mid-frame, which would discard bytes and desync.
+                ready, _, _ = select.select([conn], [], [], _POLL_SECONDS)
+                if not ready:
+                    if self._stopping.is_set():
+                        return
+                    continue
+                try:
+                    conn.settimeout(30.0)
+                    request = protocol.recv_frame(
+                        conn, max_frame_bytes=self.max_frame_bytes
+                    )
+                except socket.timeout:
+                    return  # peer stalled mid-frame; give up on it
+                except ProtocolError as exc:
+                    self.jobs_table.stats.protocol_errors += 1
+                    if exc.code in protocol.RECOVERABLE_CODES:
+                        self._send(
+                            conn,
+                            protocol.make_error(None, exc.code, str(exc)),
+                        )
+                        continue
+                    # Stream out of sync (bad magic, oversize, version
+                    # skew, truncation): best-effort typed reply, close.
+                    self._send(
+                        conn,
+                        protocol.make_error(None, exc.code, str(exc)),
+                    )
+                    return
+                if request is None:
+                    return  # clean EOF between frames
+                response = self._dispatch(request)
+                if not self._send(conn, response):
+                    return  # peer went away mid-response; daemon lives
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send(self, conn: socket.socket, message: dict) -> bool:
+        """Write one frame; False when the peer disconnected."""
+        try:
+            conn.settimeout(30.0)
+            protocol.send_frame(
+                conn, message, max_frame_bytes=self.max_frame_bytes
+            )
+            conn.settimeout(_POLL_SECONDS)
+            return True
+        except ProtocolError:
+            # The response itself exceeds the frame limit: tell the
+            # client with a small typed error instead of going silent.
+            try:
+                protocol.send_frame(
+                    conn,
+                    protocol.make_error(
+                        message.get("request_id"),
+                        "frame-too-large",
+                        "response exceeded max_frame_bytes",
+                    ),
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+                return True
+            except OSError:
+                return False
+        except OSError:
+            return False
+
+    # ----------------------------------------------------------- dispatch
+    def _dispatch(self, request: dict) -> dict:
+        try:
+            request_id, kind, params = protocol.validate_request(request)
+        except ProtocolError as exc:
+            self.jobs_table.stats.protocol_errors += 1
+            return protocol.make_error(
+                request.get("request_id"), exc.code, str(exc)
+            )
+        if kind == "shutdown":
+            self._stopping.set()
+            return protocol.make_ok(request_id, {"stopping": True})
+        if kind == "cache-stats":
+            return protocol.make_ok(request_id, self._cache_stats())
+        handler = HANDLERS[kind]
+        try:
+            canonical = handler.normalize(params)
+        except ProtocolError as exc:
+            self.jobs_table.stats.protocol_errors += 1
+            return protocol.make_error(request_id, exc.code, str(exc))
+        if kind == "ping" and not canonical["delay"]:
+            # The instant health probe skips the job table entirely so
+            # it stays responsive even when admission is saturated.
+            return protocol.make_ok(
+                request_id, handler.execute(self.context, canonical)
+            )
+        if self._stopping.is_set():
+            return protocol.make_error(
+                request_id,
+                "shutting-down",
+                "daemon is draining; no new work is admitted",
+            )
+        state, job = self.jobs_table.acquire(kind, canonical)
+        if state == "busy":
+            return protocol.make_busy(
+                request_id,
+                f"{self.jobs_table.max_inflight} request(s) already in "
+                "flight",
+                self.retry_after,
+            )
+        if state == "new":
+            self._executor.submit(self._execute_job, handler, job)
+        shared = state == "joined"
+        job.done.wait()
+        if job.error is not None:
+            error_type, message = job.error
+            response = protocol.make_error(request_id, error_type, message)
+            response["metrics"] = job.metrics
+            response["dedup"] = {"key": job.key[:16], "shared": shared}
+            return response
+        return protocol.make_ok(
+            request_id,
+            job.result,
+            metrics=job.metrics,
+            dedup={"key": job.key[:16], "shared": shared},
+        )
+
+    def _execute_job(self, handler, job: Job) -> None:
+        try:
+            with runtime.capture() as report:
+                try:
+                    payload = handler.execute(self.context, job.params)
+                except ReproError as exc:
+                    job.fail(
+                        type(exc).__name__, str(exc), report.to_json()
+                    )
+                except Exception as exc:
+                    job.fail(
+                        "internal-error",
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}",
+                        report.to_json(),
+                    )
+                else:
+                    job.finish(payload, report.to_json())
+        finally:
+            if not job.done.is_set():  # capture itself failed
+                job.fail("internal-error", "job never produced a result",
+                         None)
+            self.jobs_table.release(job)
+
+    def _cache_stats(self) -> dict:
+        store = runtime.default_store()
+        stats = store.stats()
+        config = runtime.runtime_config()
+        return {
+            "store": {
+                "root": stats.root,
+                "enabled": config.enabled,
+                "entries": stats.entries,
+                "total_bytes": stats.total_bytes,
+                "max_bytes": stats.max_bytes,
+            },
+            "server": {
+                "pid": os.getpid(),
+                "socket": str(self.socket_path),
+                "jobs": self.context.jobs,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "stopping": self._stopping.is_set(),
+            },
+            "requests": self.jobs_table.snapshot(),
+            "lifetime": runtime.REPORT.to_json(),
+        }
+
+
+def serve(
+    socket_path: Optional[os.PathLike] = None,
+    *,
+    jobs: int = 1,
+    max_inflight: int = 8,
+    max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    install_signals: bool = True,
+) -> int:
+    """Run a daemon until it is told to stop; the CLI entry point."""
+    server = ReproServer(
+        socket_path,
+        jobs=jobs,
+        max_inflight=max_inflight,
+        max_frame_bytes=max_frame_bytes,
+    )
+    server.start()
+    print(
+        f"repro serve: listening on {server.socket_path} "
+        f"(jobs={jobs}, max_inflight={max_inflight}, pid={os.getpid()})",
+        flush=True,
+    )
+    code = server.serve_forever(install_signals=install_signals)
+    print("repro serve: drained and stopped", flush=True)
+    return code

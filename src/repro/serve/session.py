@@ -1,0 +1,179 @@
+"""Request deduplication and admission control for the serve daemon.
+
+The daemon routes every *computational* request (study, bench, check,
+analyze) through a :class:`JobTable`:
+
+* **dedup** — two requests with the same :func:`dedup_key` (kind +
+  canonically-normalized params + the package source fingerprint) while
+  the first is still in flight share one :class:`Job`: the computation
+  runs once and every waiter receives the same result (or the same typed
+  error).  Keying on the source fingerprint means a daemon that straddles
+  a source edit never serves a stale in-flight computation for the new
+  tree — exactly the invalidation rule the artifact store uses.
+* **admission control** — at most ``max_inflight`` distinct jobs may be
+  in flight; a request that would create one more is rejected with an
+  explicit ``busy`` reply carrying ``retry_after`` (bounded queue, no
+  silent unbounded backlog).  Joining an existing job never counts
+  against the bound — a dedup hit consumes no new capacity.
+
+Jobs are executed by the server's worker pool; the table only tracks
+identity and lifecycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.runtime.fingerprint import source_fingerprint
+
+
+def dedup_key(kind: str, params: dict) -> str:
+    """The identity of one computation.
+
+    ``params`` must already be normalized (defaults filled in) so that
+    requests spelled differently but meaning the same computation — e.g.
+    an absent ``scale`` versus an explicit default — collapse onto one
+    key.
+    """
+    blob = json.dumps(
+        {
+            "kind": kind,
+            "params": params,
+            "source": source_fingerprint(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class Job:
+    """One deduplicated in-flight computation."""
+
+    key: str
+    kind: str
+    params: dict
+    done: threading.Event = field(default_factory=threading.Event)
+    #: Filled in by the executing worker before ``done`` is set.
+    result: Optional[object] = None
+    error: Optional[Tuple[str, str]] = None  # (type, message)
+    metrics: Optional[dict] = None
+    #: How many requests are waiting on this job (the creator included).
+    waiters: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def finish(self, result, metrics: Optional[dict]) -> None:
+        self.result = result
+        self.metrics = metrics
+        self.done.set()
+
+    def fail(
+        self, error_type: str, message: str, metrics: Optional[dict]
+    ) -> None:
+        self.error = (error_type, message)
+        self.metrics = metrics
+        self.done.set()
+
+
+@dataclass
+class ServeStats:
+    """Daemon-lifetime counters (reported by ``cache-stats``)."""
+
+    received: int = 0
+    executed: int = 0
+    dedup_hits: int = 0
+    busy_rejects: int = 0
+    failed: int = 0
+    protocol_errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "received": self.received,
+            "executed": self.executed,
+            "dedup_hits": self.dedup_hits,
+            "busy_rejects": self.busy_rejects,
+            "failed": self.failed,
+            "protocol_errors": self.protocol_errors,
+        }
+
+
+class JobTable:
+    """In-flight jobs keyed by :func:`dedup_key`, bounded by admission."""
+
+    def __init__(self, max_inflight: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.stats = ServeStats()
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+
+    # ---------------------------------------------------------- lifecycle
+    def acquire(
+        self, kind: str, params: dict
+    ) -> Tuple[str, Optional[Job]]:
+        """Admit one request.
+
+        Returns ``("new", job)`` when this request must execute the job,
+        ``("joined", job)`` when an identical computation is already in
+        flight (wait on ``job.done``), or ``("busy", None)`` when the
+        admission bound is full.
+        """
+        key = dedup_key(kind, params)
+        with self._lock:
+            self.stats.received += 1
+            job = self._jobs.get(key)
+            if job is not None:
+                job.waiters += 1
+                self.stats.dedup_hits += 1
+                return "joined", job
+            if len(self._jobs) >= self.max_inflight:
+                self.stats.busy_rejects += 1
+                return "busy", None
+            job = Job(key=key, kind=kind, params=params)
+            self._jobs[key] = job
+            return "new", job
+
+    def release(self, job: Job) -> None:
+        """Retire a finished job from the in-flight table.
+
+        Called exactly once, by the executing side, *after* the job's
+        outcome is recorded — late joiners between ``finish`` and
+        ``release`` still receive the completed result.
+        """
+        with self._lock:
+            if job.error is not None:
+                self.stats.failed += 1
+            else:
+                self.stats.executed += 1
+            self._jobs.pop(job.key, None)
+
+    # ------------------------------------------------------------- views
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            jobs = [
+                {
+                    "kind": job.kind,
+                    "key": job.key[:16],
+                    "waiters": job.waiters,
+                }
+                for job in self._jobs.values()
+            ]
+        return {
+            "max_inflight": self.max_inflight,
+            "inflight": len(jobs),
+            "jobs": jobs,
+            "counters": self.stats.as_dict(),
+        }

@@ -1,0 +1,322 @@
+"""In-process daemon tests: dedup, backpressure, differential identity.
+
+The :class:`~repro.serve.server.ReproServer` runs inside the test
+process (its accept loop is a daemon thread), so tests reach both sides:
+real clients over the real Unix socket on one end, the job table and
+its counters on the other.  Daemon *subprocess* behavior — signals,
+exit codes, kill recovery — lives in ``repro.check.serve_faults`` and
+runs under ``repro check --scope serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.errors import CheckError, RemoteError, ServeError, ServerBusy
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+from repro.serve.handlers import HANDLERS, Handler, study_payload
+from repro.serve.server import ReproServer
+
+
+@contextmanager
+def running_server(tmp_path, **kwargs):
+    server = ReproServer(tmp_path / "serve.sock", **kwargs)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def _gather(workers):
+    """Run thunks concurrently; list of results or raised exceptions."""
+    results = [None] * len(workers)
+
+    def _call(index, thunk):
+        try:
+            results[index] = thunk()
+        except Exception as exc:
+            results[index] = exc
+
+    threads = [
+        threading.Thread(target=_call, args=(i, w))
+        for i, w in enumerate(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "worker hung"
+    return results
+
+
+def test_ping_round_trip(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            pong = client.ping()
+            assert pong["pong"] is True
+            assert pong["protocol"] == protocol.PROTOCOL_VERSION
+
+
+def test_study_byte_identical_to_in_process(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            response = client.study("compress", 3, ["byte"])
+    local = study_payload("compress", 3, ["byte"])
+    assert response["result"] == local
+    # Byte-for-byte under canonical JSON, the differential gate.
+    assert json.dumps(response["result"], sort_keys=True) == json.dumps(
+        local, sort_keys=True
+    )
+
+
+def test_warm_request_recomputes_nothing(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            first = client.study("compress", 3, ["byte"])
+            second = client.study("compress", 3, ["byte"])
+    assert second["result"] == first["result"]
+    # The per-request stage metrics prove no stage re-ran: a warm
+    # request may hit the store or the in-process memo, but it must
+    # never take a miss (a miss is a recompute).
+    stages = (second["metrics"] or {}).get("stages", {})
+    assert all(s["misses"] == 0 for s in stages.values())
+
+
+def test_default_scale_and_explicit_default_share_a_dedup_key(tmp_path):
+    from repro.programs.suite import SUITE
+
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            implicit = client.study("compress", None, ["byte"])
+            explicit = client.study(
+                "compress", SUITE["compress"].default_scale, ["byte"]
+            )
+    assert implicit["dedup"]["key"] == explicit["dedup"]["key"]
+
+
+def test_concurrent_identical_studies_execute_once(tmp_path, monkeypatch):
+    # Widen the join window deterministically: the real study handler
+    # still runs (and its metrics are captured), after a short sleep
+    # that keeps the first request in flight while the others arrive.
+    real = HANDLERS["study"]
+
+    def slow_execute(ctx, params):
+        time.sleep(0.6)
+        return real.execute(ctx, params)
+
+    monkeypatch.setitem(
+        HANDLERS, "study", Handler("study", real.normalize, slow_execute)
+    )
+    with running_server(tmp_path, max_inflight=8) as server:
+        before = server.jobs_table.stats.as_dict()
+
+        def one_request():
+            with ServeClient(server.socket_path) as client:
+                return client.study("compress", 3, ["byte"])
+
+        responses = _gather([one_request] * 4)
+        after = server.jobs_table.stats.as_dict()
+    for response in responses:
+        assert not isinstance(response, Exception), response
+    # Exactly one execution; the other three joined it.
+    assert after["executed"] - before["executed"] == 1
+    assert after["dedup_hits"] - before["dedup_hits"] == 3
+    shared_flags = sorted(r["dedup"]["shared"] for r in responses)
+    assert shared_flags == [False, True, True, True]
+    # All four received the same result *and* the same single
+    # execution's stage metrics.
+    blobs = {
+        json.dumps(
+            {"result": r["result"], "metrics": r["metrics"]},
+            sort_keys=True,
+        )
+        for r in responses
+    }
+    assert len(blobs) == 1
+
+
+def test_failing_job_propagates_same_error_to_all_waiters(
+    tmp_path, monkeypatch
+):
+    def failing_execute(ctx, params):
+        time.sleep(0.5)
+        raise CheckError("deliberate shared failure")
+
+    real = HANDLERS["bench"]
+    monkeypatch.setitem(
+        HANDLERS,
+        "bench",
+        Handler("bench", lambda params: {}, failing_execute),
+    )
+    del real  # only the patched handler matters here
+    with running_server(tmp_path, max_inflight=8) as server:
+        before = server.jobs_table.stats.as_dict()
+
+        def one_request():
+            with ServeClient(server.socket_path) as client:
+                return client.bench()
+
+        outcomes = _gather([one_request] * 3)
+        after = server.jobs_table.stats.as_dict()
+    assert after["failed"] - before["failed"] == 1
+    assert after["executed"] - before["executed"] == 0
+    assert after["dedup_hits"] - before["dedup_hits"] == 2
+    for outcome in outcomes:
+        assert isinstance(outcome, RemoteError)
+        assert outcome.error_type == "CheckError"
+        assert outcome.remote_message == "deliberate shared failure"
+
+
+def test_busy_reject_and_instant_ping_under_saturation(tmp_path):
+    with running_server(tmp_path, max_inflight=1) as server:
+        hold = threading.Thread(
+            target=lambda: ServeClient(server.socket_path).request(
+                "ping", {"delay": 1.2, "tag": "hold"}
+            )
+        )
+        hold.start()
+        deadline = time.monotonic() + 5.0
+        while (
+            server.jobs_table.inflight() == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert server.jobs_table.inflight() == 1
+        with ServeClient(server.socket_path) as client:
+            # A *distinct* delayed ping cannot join and cannot be
+            # admitted: explicit busy with a retry hint.
+            with pytest.raises(ServerBusy) as excinfo:
+                client.request("ping", {"delay": 1.2, "tag": "other"})
+            assert excinfo.value.retry_after > 0
+            # The instant health probe bypasses admission entirely.
+            assert client.ping()["pong"] is True
+            # An *identical* request joins despite the full table —
+            # dedup never consumes admission capacity.
+            joined = client.request("ping", {"delay": 1.2, "tag": "hold"})
+            assert joined["dedup"]["shared"] is True
+        hold.join(timeout=10.0)
+        assert server.jobs_table.stats.busy_rejects >= 1
+
+
+def test_bad_params_is_a_typed_remote_error(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.study("no-such-benchmark")
+            assert excinfo.value.error_type == "bad-params"
+            # The connection survived the typed error.
+            assert client.ping()["pong"] is True
+
+
+def test_recoverable_protocol_error_keeps_connection(tmp_path):
+    with running_server(tmp_path) as server:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10.0)
+        sock.connect(str(server.socket_path))
+        try:
+            protocol.send_frame(
+                sock,
+                {"request_id": "r1", "kind": "frobnicate", "params": {}},
+            )
+            reply = protocol.recv_frame(sock)
+            assert reply["status"] == "error"
+            assert reply["error"]["type"] == "unknown-kind"
+            # Same connection, next frame: still served.
+            protocol.send_frame(
+                sock, protocol.make_request("r2", "ping", {})
+            )
+            reply = protocol.recv_frame(sock)
+            assert reply["status"] == "ok"
+            assert reply["result"]["pong"] is True
+        finally:
+            sock.close()
+
+
+def test_unrecoverable_protocol_error_closes_connection(tmp_path):
+    with running_server(tmp_path) as server:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(10.0)
+        sock.connect(str(server.socket_path))
+        try:
+            sock.sendall(b"EVILEVILEVIL - not this protocol")
+            # Best-effort typed reply, then close; either way the
+            # stream ends and the daemon survives.
+            try:
+                reply = protocol.recv_frame(sock)
+            except Exception:
+                reply = None
+            if reply is not None:
+                assert reply["status"] == "error"
+                try:
+                    assert protocol.recv_frame(sock) is None
+                except OSError:
+                    pass  # reset instead of FIN: still a close
+        finally:
+            sock.close()
+        with ServeClient(server.socket_path) as client:
+            assert client.ping()["pong"] is True
+
+
+def test_client_disconnect_mid_response_leaves_daemon_alive(tmp_path):
+    with running_server(tmp_path) as server:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(str(server.socket_path))
+        protocol.send_frame(
+            sock,
+            protocol.make_request("gone", "ping", {"delay": 0.3}),
+        )
+        sock.close()  # vanish while the job is still running
+        time.sleep(0.6)
+        with ServeClient(server.socket_path) as client:
+            assert client.ping()["pong"] is True
+
+
+def test_shutdown_request_drains_and_unbinds(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            assert client.shutdown() == {"stopping": True}
+        assert server.stopping
+        server.stop()
+        assert not server.socket_path.exists()
+        with pytest.raises(ServeError):
+            ServeClient(server.socket_path, timeout=1.0).connect()
+
+
+def test_no_new_work_admitted_while_draining(tmp_path):
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            client.shutdown()
+            with pytest.raises(RemoteError) as excinfo:
+                client.request("ping", {"delay": 0.2})
+            assert excinfo.value.error_type == "shutting-down"
+
+
+def test_two_daemons_cannot_share_a_socket(tmp_path):
+    from repro.errors import ReproError
+
+    with running_server(tmp_path) as server:
+        second = ReproServer(server.socket_path)
+        with pytest.raises(ReproError):
+            second.start()
+
+
+def test_stale_socket_file_is_replaced(tmp_path):
+    # A crashed daemon leaves the socket file behind; the next start
+    # probes it, finds nobody listening, and takes over.
+    first = ReproServer(tmp_path / "serve.sock")
+    first.start()
+    first._listener.close()  # simulate a crash: file stays bound
+    first._stopping.set()
+    first._accept_thread.join(timeout=5.0)
+    assert first.socket_path.exists()
+    with running_server(tmp_path) as server:
+        with ServeClient(server.socket_path) as client:
+            assert client.ping()["pong"] is True

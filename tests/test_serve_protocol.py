@@ -1,0 +1,216 @@
+"""Wire-level tests for the serve framing protocol (no daemon).
+
+Everything here runs over a ``socket.socketpair``: one side writes
+crafted bytes, the other decodes them with the production
+``recv_frame``.  The contract being pinned: every malformed input maps
+to a *typed* :class:`~repro.errors.ProtocolError` (with the documented
+machine-readable code), a clean EOF between frames is ``None``, and a
+well-formed frame round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import protocol
+
+
+def _pair():
+    left, right = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+def _deliver(blob: bytes):
+    """Write raw bytes, close the writer, return the reader socket."""
+    writer, reader = _pair()
+    writer.sendall(blob)
+    writer.close()
+    return reader
+
+
+def test_round_trip():
+    message = {"request_id": "r1", "kind": "ping", "params": {"x": 1}}
+    reader = _deliver(protocol.encode_frame(message))
+    try:
+        assert protocol.recv_frame(reader) == message
+        # After the one frame, the closed writer is a clean EOF.
+        assert protocol.recv_frame(reader) is None
+    finally:
+        reader.close()
+
+
+def test_header_layout():
+    frame = protocol.encode_frame({"a": 1})
+    assert frame[:4] == protocol.MAGIC
+    assert frame[4] == protocol.PROTOCOL_VERSION
+    body = frame[protocol.HEADER.size:]
+    assert int.from_bytes(frame[5:9], "big") == len(body)
+    assert json.loads(body.decode("utf-8")) == {"a": 1}
+
+
+def test_clean_eof_between_frames():
+    writer, reader = _pair()
+    writer.close()
+    try:
+        assert protocol.recv_frame(reader) is None
+    finally:
+        reader.close()
+
+
+@pytest.mark.parametrize("cut", ["header", "body"])
+def test_truncated_frame(cut):
+    frame = protocol.encode_frame({"request_id": "r", "kind": "ping"})
+    cut_at = 5 if cut == "header" else protocol.HEADER.size + 3
+    reader = _deliver(frame[:cut_at])
+    try:
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.recv_frame(reader)
+        assert excinfo.value.code == "truncated-frame"
+    finally:
+        reader.close()
+
+
+def test_bad_magic():
+    frame = protocol.encode_frame({"a": 1})
+    reader = _deliver(b"EVIL" + frame[4:])
+    try:
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.recv_frame(reader)
+        assert excinfo.value.code == "bad-magic"
+    finally:
+        reader.close()
+
+
+def test_version_mismatch():
+    body = b"{}"
+    reader = _deliver(
+        protocol.HEADER.pack(protocol.MAGIC, 99, len(body)) + body
+    )
+    try:
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.recv_frame(reader)
+        assert excinfo.value.code == "version-mismatch"
+    finally:
+        reader.close()
+
+
+def test_oversized_declared_length_rejected_before_body_read():
+    # Only the header arrives; the declared length alone must trigger
+    # the rejection (no attempt to allocate/read the claimed body).
+    reader = _deliver(
+        protocol.HEADER.pack(
+            protocol.MAGIC, protocol.PROTOCOL_VERSION, 1024 + 1
+        )
+    )
+    try:
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.recv_frame(reader, max_frame_bytes=1024)
+        assert excinfo.value.code == "frame-too-large"
+    finally:
+        reader.close()
+
+
+def test_oversized_outgoing_frame_rejected():
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.encode_frame(
+            {"blob": "x" * 2048}, max_frame_bytes=1024
+        )
+    assert excinfo.value.code == "frame-too-large"
+
+
+def test_garbage_body_is_bad_json():
+    blob = b"\x00\xff not json at all"
+    reader = _deliver(
+        protocol.HEADER.pack(
+            protocol.MAGIC, protocol.PROTOCOL_VERSION, len(blob)
+        )
+        + blob
+    )
+    try:
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.recv_frame(reader)
+        assert excinfo.value.code == "bad-json"
+    finally:
+        reader.close()
+
+
+def test_non_object_body_is_bad_request():
+    blob = b"[1,2,3]"
+    reader = _deliver(
+        protocol.HEADER.pack(
+            protocol.MAGIC, protocol.PROTOCOL_VERSION, len(blob)
+        )
+        + blob
+    )
+    try:
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.recv_frame(reader)
+        assert excinfo.value.code == "bad-request"
+    finally:
+        reader.close()
+
+
+class TestValidateRequest:
+    def test_valid(self):
+        assert protocol.validate_request(
+            {"request_id": "r", "kind": "study", "params": {"b": 1}}
+        ) == ("r", "study", {"b": 1})
+
+    def test_params_default_to_empty(self):
+        _, _, params = protocol.validate_request(
+            {"request_id": "r", "kind": "ping"}
+        )
+        assert params == {}
+
+    @pytest.mark.parametrize(
+        "message, code",
+        [
+            ({"kind": "ping"}, "bad-request"),
+            ({"request_id": "", "kind": "ping"}, "bad-request"),
+            ({"request_id": 7, "kind": "ping"}, "bad-request"),
+            ({"request_id": "r"}, "bad-request"),
+            ({"request_id": "r", "kind": 3}, "bad-request"),
+            ({"request_id": "r", "kind": "frobnicate"}, "unknown-kind"),
+            (
+                {"request_id": "r", "kind": "ping", "params": [1]},
+                "bad-request",
+            ),
+        ],
+    )
+    def test_rejects(self, message, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request(message)
+        assert excinfo.value.code == code
+
+
+def test_recoverable_codes_keep_stream_sync_semantics():
+    # The recoverable set is exactly the codes raised *after* a whole
+    # frame was consumed; framing-level failures must not be in it.
+    assert protocol.RECOVERABLE_CODES == {
+        "bad-json", "bad-request", "unknown-kind", "bad-params"
+    }
+    for framing_code in (
+        "bad-magic", "version-mismatch", "frame-too-large",
+        "truncated-frame",
+    ):
+        assert framing_code not in protocol.RECOVERABLE_CODES
+
+
+def test_response_constructors():
+    ok = protocol.make_ok(
+        "r", {"v": 1}, metrics={"stages": {}}, dedup={"shared": False}
+    )
+    assert ok["status"] == "ok" and ok["result"] == {"v": 1}
+    assert ok["metrics"] == {"stages": {}}
+    err = protocol.make_error("r", "bad-params", "nope")
+    assert err["status"] == "error"
+    assert err["error"] == {"type": "bad-params", "message": "nope"}
+    busy = protocol.make_busy("r", "full", 0.25)
+    assert busy["status"] == "busy"
+    assert busy["retry_after"] == 0.25
