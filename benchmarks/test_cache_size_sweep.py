@@ -7,9 +7,8 @@ uncompressed image the schemes converge (Base catches up, the
 decompressor's hit-path cost remains).
 """
 
-from repro.core.study import study_for
+from repro.core.sweep import run_sweep
 from repro.fetch.config import CacheGeometry, FetchConfig
-from repro.fetch.engine import simulate_fetch
 from repro.utils.tables import format_table
 
 #: (base geometry, tailored/compressed geometry) per sweep point; the
@@ -29,22 +28,18 @@ SWEEP = [
 
 
 def _sweep(benchmark_name="compress"):
-    study = study_for(benchmark_name)
-    trace = study.run.block_trace
-    rows = []
+    # One columnar engine pass answers all 15 (cache pair, scheme)
+    # points; every result is bit-identical to a per-config
+    # simulate_fetch replay.
+    configs = []
     for base_geo, other_geo in SWEEP:
-        base = simulate_fetch(
-            study.compressed("base"), trace,
-            FetchConfig(scheme="base", cache=base_geo),
-        )
-        tailored = simulate_fetch(
-            study.compressed("tailored"), trace,
-            FetchConfig(scheme="tailored", cache=other_geo),
-        )
-        comp = simulate_fetch(
-            study.compressed("full"), trace,
-            FetchConfig(scheme="compressed", cache=other_geo),
-        )
+        configs.append(FetchConfig(scheme="base", cache=base_geo))
+        configs.append(FetchConfig(scheme="tailored", cache=other_geo))
+        configs.append(FetchConfig(scheme="compressed", cache=other_geo))
+    metrics = run_sweep(benchmark_name, configs)
+    rows = []
+    for point, (base_geo, other_geo) in enumerate(SWEEP):
+        base, tailored, comp = metrics[3 * point : 3 * point + 3]
         rows.append(
             [f"{base_geo.capacity_bytes}B/{other_geo.capacity_bytes}B",
              base.ipc, tailored.ipc, comp.ipc,

@@ -9,7 +9,7 @@ buffer capacity (8/16/32/64 ops) on a general benchmark.
 
 from repro.compiler import compile_module
 from repro.compression.schemes import BaselineScheme, FullOpHuffmanScheme
-from repro.core.study import study_for
+from repro.core.sweep import run_sweep
 from repro.emulator import run_image
 from repro.fetch.config import FetchConfig
 from repro.fetch.engine import simulate_fetch
@@ -61,15 +61,17 @@ def test_dsp_kernels_fit_l0(benchmark, report):
 
 
 def _sweep_rows():
-    study = study_for("li")
-    trace = study.run.block_trace
-    compressed = study.compressed("full")
-    rows = []
-    for capacity in (8, 16, 32, 64):
-        config = FetchConfig.for_scheme(
+    # All four L0 capacities ride one columnar engine pass (one shared
+    # predictor component, one cache component per capacity).
+    capacities = (8, 16, 32, 64)
+    configs = [
+        FetchConfig.for_scheme(
             "compressed", scaled=True, l0_capacity_ops=capacity
         )
-        metrics = simulate_fetch(compressed, trace, config)
+        for capacity in capacities
+    ]
+    rows = []
+    for capacity, metrics in zip(capacities, run_sweep("li", configs)):
         rows.append(
             [capacity, metrics.ipc,
              100.0 * metrics.buffer_hits / max(1, metrics.blocks_fetched)]

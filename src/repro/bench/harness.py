@@ -142,6 +142,8 @@ def summarize(results: Sequence[BenchResult]) -> Dict[str, Any]:
             summary["bitstream_speedup"] = round(result.speedup, 2)
         elif result.name == "emulate_trace_macro":
             summary["emulate_trace_speedup"] = round(result.speedup, 2)
+        elif result.name == "sweep_grid":
+            summary["sweep_grid_speedup"] = round(result.speedup, 2)
     return summary
 
 

@@ -147,6 +147,69 @@ def _fetch_describe(workload) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------- sweep grid
+#: The acceptance grid: 3 schemes × 2 caches × 4 ATBs × 2 predictors,
+#: with the L0 axis expanding only under the compressed scheme
+#: (16 + 16 + 32 = 64 config points).
+def _sweep_grid():
+    from repro.core.sweep import expand_grid
+
+    return expand_grid(
+        ("base", "tailored", "compressed"),
+        caches=[(1280, 2, 40), (1024, 2, 32)],
+        atbs=[(32, 4), (64, 4), (128, 4), (256, 8)],
+        predictors=("block", "gshare"),
+        l0_capacities=(8, 32),
+    )
+
+def _sweep_setup(quick: bool) -> Dict[str, Any]:
+    from repro.core.study import study_for
+    from repro.runtime.tasks import FETCH_IMAGE_KEYS
+
+    study = study_for(_MACRO_BENCH, _MACRO_SCALE)
+    repeat = 2 if quick else 3
+    return {
+        "images": {
+            scheme: study.compressed(FETCH_IMAGE_KEYS[scheme])
+            for scheme in ("base", "tailored", "compressed")
+        },
+        "trace": list(study.run.block_trace) * repeat,
+        "grid": _sweep_grid(),
+    }
+
+def _sweep_sequential(workload) -> List[Any]:
+    """The pre-sweep cost model: one full kernel replay per config."""
+    from repro.fetch.kernel import simulate_fetch_kernel
+
+    trace = workload["trace"]
+    images = workload["images"]
+    return [
+        simulate_fetch_kernel(images[config.scheme], trace, config)
+        for config in workload["grid"]
+    ]
+
+def _sweep_batched(workload) -> List[Any]:
+    from repro.fetch.sweep import simulate_fetch_sweep_multi
+
+    return simulate_fetch_sweep_multi(
+        workload["images"], workload["trace"], workload["grid"]
+    )
+
+def _sweep_compare(workload, ref_out, kernel_out) -> bool:
+    flags = [a == b for a, b in zip(ref_out, kernel_out)]
+    workload["_identical_flags"] = flags
+    return len(ref_out) == len(kernel_out) and all(flags)
+
+def _sweep_describe(workload) -> Dict[str, Any]:
+    flags = workload.get("_identical_flags", [])
+    return {
+        "study": f"{_MACRO_BENCH}@{_MACRO_SCALE}",
+        "trace_blocks": len(workload["trace"]),
+        "configs": len(workload["grid"]),
+        "identical_configs": sum(flags),
+    }
+
+
 # -------------------------------------------------------- emulation
 def _emulate_micro_image(iterations: int):
     """A synthetic op-soup loop touching every execution path the
@@ -394,6 +457,19 @@ def _build_benchmarks() -> tuple:
         _fetch_benchmark("base"),
         _fetch_benchmark("tailored"),
         _fetch_benchmark("compressed"),
+        Benchmark(
+            name="sweep_grid",
+            kind="macro",
+            description=(
+                "simulate a 64-point cache/ATB/L0/predictor grid "
+                "(columnar sweep engine vs one kernel replay per config)"
+            ),
+            setup=_sweep_setup,
+            reference=_sweep_sequential,
+            kernel=_sweep_batched,
+            compare=_sweep_compare,
+            describe=_sweep_describe,
+        ),
         Benchmark(
             name="fig13_end2end",
             kind="macro",

@@ -304,6 +304,158 @@ def _kernel_vs_reference(ctx: CheckContext, rec: Recorder) -> None:
             )
 
 
+# -------------------------------------------------------------- sweep
+_SWEEP_IMAGE_KEYS = (
+    ("base", "base"),
+    ("tailored", "tailored"),
+    ("compressed", "full"),
+)
+
+
+def _metrics_diff(actual, expected) -> list:
+    """Names of the FetchMetrics fields where the two disagree."""
+    expected_fields = asdict(expected)
+    actual_fields = asdict(actual)
+    return [
+        name
+        for name, value in expected_fields.items()
+        if actual_fields[name] != value
+    ]
+
+
+@invariant(
+    "sweep-vs-kernel",
+    scope="sweep",
+    description="columnar sweep engine matches per-config kernel and "
+                "reference replays on randomized grids",
+)
+def _sweep_vs_kernel(ctx: CheckContext, rec: Recorder) -> None:
+    from repro.core.sweep import expand_grid
+    from repro.fetch.engine import (
+        simulate_fetch,
+        simulate_fetch_reference,
+    )
+    from repro.fetch.sweep import simulate_fetch_sweep_multi
+
+    length = 1200 if ctx.quick else 4000
+    reference_samples = 2 if ctx.quick else 6
+    for benchmark in ctx.benchmarks:
+        study = ctx.study(benchmark)
+        images = {
+            scheme: study.compressed(key)
+            for scheme, key in _SWEEP_IMAGE_KEYS
+        }
+        rng = ctx.rng(f"sweep-vs-kernel:{benchmark}")
+        blocks = len(images["compressed"].image)
+        trace = [rng.randrange(blocks) for _ in range(length)]
+        caches = rng.sample(
+            [
+                (512, 2, 16), (640, 2, 40), (1280, 2, 40),
+                (1024, 2, 32), (2048, 4, 32), (4096, 4, 64),
+            ],
+            3,
+        )
+        grid = expand_grid(
+            ("base", "tailored", "compressed"),
+            caches=caches,
+            atbs=[rng.choice([(32, 4), (64, 4)]), (128, 4)],
+            predictors=("block", "gshare"),
+            gshare_bits=(rng.choice([6, 8, 12]),),
+            l0_capacities=(rng.choice([4, 16]), 32),
+            bus_widths=(rng.choice([4, 8, 16]),),
+        )
+        batch = simulate_fetch_sweep_multi(images, trace, grid)
+        rec.expect_equal(
+            len(batch), len(grid), benchmark, "sweep result count"
+        )
+        for config, metrics in zip(grid, batch):
+            subject = (
+                f"{benchmark}/{config.scheme}/"
+                f"{config.cache.capacity_bytes}B/"
+                f"atb{config.atb_entries}/{config.predictor}"
+            )
+            diff = _metrics_diff(
+                metrics,
+                simulate_fetch(images[config.scheme], trace, config),
+            )
+            rec.expect(
+                not diff,
+                subject,
+                "sweep diverges from simulate_fetch on fields: "
+                + ", ".join(diff),
+            )
+        # The slow un-kernelized reference, on a sampled subset.
+        for index in rng.sample(
+            range(len(grid)), min(reference_samples, len(grid))
+        ):
+            config = grid[index]
+            subject = (
+                f"{benchmark}/{config.scheme}/"
+                f"{config.cache.capacity_bytes}B/reference"
+            )
+            diff = _metrics_diff(
+                batch[index],
+                simulate_fetch_reference(
+                    images[config.scheme], trace, config
+                ),
+            )
+            rec.expect(
+                not diff,
+                subject,
+                "sweep diverges from the reference on fields: "
+                + ", ".join(diff),
+            )
+
+
+@invariant(
+    "sweep-degenerate-grid",
+    scope="sweep",
+    description="a 1-config grid is exactly one simulate_fetch result "
+                "and an empty grid is empty",
+)
+def _sweep_degenerate_grid(ctx: CheckContext, rec: Recorder) -> None:
+    from repro.fetch.engine import simulate_fetch
+    from repro.fetch.sweep import (
+        simulate_fetch_sweep,
+        simulate_fetch_sweep_multi,
+    )
+
+    length = 800 if ctx.quick else 2500
+    for benchmark in ctx.benchmarks:
+        study = ctx.study(benchmark)
+        images = {
+            scheme: study.compressed(key)
+            for scheme, key in _SWEEP_IMAGE_KEYS
+        }
+        rng = ctx.rng(f"sweep-degenerate-grid:{benchmark}")
+        blocks = len(images["compressed"].image)
+        trace = [rng.randrange(blocks) for _ in range(length)]
+        for scheme, _ in _SWEEP_IMAGE_KEYS:
+            config = FetchConfig.for_scheme(scheme, scaled=True)
+            subject = f"{benchmark}/{scheme}"
+            single = simulate_fetch_sweep(
+                images[scheme], trace, [config]
+            )
+            rec.expect_equal(
+                len(single), 1, subject, "1-config grid result count"
+            )
+            diff = _metrics_diff(
+                single[0], simulate_fetch(images[scheme], trace, config)
+            )
+            rec.expect(
+                not diff,
+                subject,
+                "1-config sweep diverges from simulate_fetch on "
+                "fields: " + ", ".join(diff),
+            )
+        rec.expect_equal(
+            simulate_fetch_sweep_multi(images, trace, []),
+            [],
+            benchmark,
+            "empty grid result",
+        )
+
+
 # ----------------------------------------------------------- emulator
 @invariant(
     "emulator-kernel-vs-ref",

@@ -37,6 +37,7 @@ SCOPES = (
     "compression",
     "att",
     "fetch",
+    "sweep",
     "emulator",
     "structure",
     "store",

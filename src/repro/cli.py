@@ -21,6 +21,10 @@ Examples::
     python -m repro cache stats
     python -m repro cache clear
     python -m repro study compress --scheme byte --json
+    python -m repro sweep compress --cache 512:2:16 --cache 1024:2:32 \
+        --predictor block --predictor gshare --json
+    python -m repro sweep li --scheme compressed --l0 8 --l0 16 --l0 32 \
+        --jobs 4                               # columnar multi-config sweep
     python -m repro serve --jobs 4             # long-lived daemon
     python -m repro client ping
     python -m repro study compress --via-server --json
@@ -576,6 +580,140 @@ def _cmd_study(args) -> int:
     return _finish_study(args, payload)
 
 
+def _parse_axis_tuple(value: str, flag: str, arity: int):
+    """``"1024:2:32"`` → ``(1024, 2, 32)`` with arity/shape checking."""
+    parts = value.split(":")
+    if len(parts) != arity or not all(
+        p.lstrip("-").isdigit() for p in parts
+    ):
+        shape = ":".join("N" * arity)
+        raise ConfigurationError(
+            f"{flag} expects {shape} (integers), got {value!r}"
+        )
+    return tuple(int(p) for p in parts)
+
+
+def _sweep_grid(args):
+    """Expand the CLI axis flags into the ordered config grid."""
+    from repro.core.sweep import expand_grid
+
+    kwargs = {"scaled": not args.paper_geometry}
+    if args.caches:
+        kwargs["caches"] = [
+            _parse_axis_tuple(v, "--cache", 3) for v in args.caches
+        ]
+    if args.atbs:
+        kwargs["atbs"] = [
+            _parse_axis_tuple(v, "--atb", 2) for v in args.atbs
+        ]
+    if args.atb_miss_penalties:
+        kwargs["atb_miss_penalties"] = args.atb_miss_penalties
+    if args.predictors:
+        kwargs["predictors"] = args.predictors
+    if args.gshare_bits:
+        kwargs["gshare_bits"] = args.gshare_bits
+    if args.l0:
+        kwargs["l0_capacities"] = args.l0
+    if args.bus:
+        kwargs["bus_widths"] = args.bus
+    return expand_grid(
+        tuple(args.schemes or ("base", "tailored", "compressed")),
+        **kwargs,
+    )
+
+
+def _render_sweep(payload: dict) -> str:
+    sweep = payload["sweep"]
+    rows = []
+    for entry in sweep["results"]:
+        config = entry["config"]
+        cache = config["cache"]
+        metrics = entry["metrics"]
+        rows.append(
+            [
+                config["scheme"],
+                f"{cache['capacity_bytes']}:{cache['ways']}:"
+                f"{cache['line_bytes']}",
+                f"{config['atb_entries']}:{config['atb_ways']}",
+                config["predictor"],
+                config["l0_capacity_ops"],
+                config["bus_bytes"],
+                metrics["cycles"],
+                f"{entry['ipc']:.4f}",
+                f"{100 * entry['cache_hit_rate']:.1f}%",
+                metrics["bus_bit_flips"],
+            ]
+        )
+    return format_table(
+        ["scheme", "cache", "atb", "pred", "l0", "bus", "cycles",
+         "ipc", "hit", "flips"],
+        rows,
+        title=(
+            f"Sweep ({sweep['benchmark']}@{sweep['scale']}, "
+            f"{sweep['configs']} configs)"
+        ),
+    )
+
+
+def _finish_sweep(args, payload: dict) -> int:
+    if args.json:
+        _emit_json(payload)
+    else:
+        print(_render_sweep(payload))
+        metrics = payload.get("metrics")
+        if metrics is not None:
+            report = runtime.RuntimeReport()
+            report.merge_json(metrics)
+            print()
+            print(report.render())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.errors import ServeError
+
+    _apply_runtime_flags(args)
+    try:
+        grid = _sweep_grid(args)
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+    if getattr(args, "via_server", False):
+        from repro.fetch.sweep import config_to_json
+
+        try:
+            with _open_client(args) as client:
+                response = client.sweep(
+                    args.benchmark,
+                    scale=args.scale,
+                    configs=[config_to_json(c) for c in grid],
+                    retries=args.retries,
+                )
+        except ServeError as exc:
+            print(f"serve error: {exc}", file=sys.stderr)
+            return 2
+        payload = {
+            "sweep": response["result"],
+            "metrics": response.get("metrics"),
+            "dedup": response.get("dedup"),
+        }
+    else:
+        from repro.serve.handlers import sweep_payload
+
+        try:
+            payload = {
+                "sweep": sweep_payload(
+                    args.benchmark, args.scale, grid,
+                    jobs=_jobs(args),
+                ),
+                "metrics": runtime.REPORT.to_json(),
+            }
+        except ConfigurationError as exc:
+            print(f"configuration error: {exc}", file=sys.stderr)
+            return 2
+    return _finish_sweep(args, payload)
+
+
 def _cmd_serve(args) -> int:
     from repro.errors import ReproError
     from repro.serve.server import serve
@@ -884,6 +1022,75 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_client_flags(study, via=True)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="simulate a grid of fetch configurations in one trace pass",
+    )
+    sweep.add_argument("benchmark", help="|".join(BENCHMARK_NAMES))
+    sweep.add_argument("--scale", type=int, default=None)
+    sweep.add_argument(
+        "--scheme", dest="schemes", action="append", default=None,
+        choices=("base", "tailored", "compressed"),
+        help="fetch organization axis (repeatable; default: all three)",
+    )
+    sweep.add_argument(
+        "--cache", dest="caches", action="append", default=None,
+        metavar="CAP:WAYS:LINE",
+        help="cache geometry axis, e.g. 1024:2:32 (repeatable; "
+             "default: each scheme's standard geometry)",
+    )
+    sweep.add_argument(
+        "--atb", dest="atbs", action="append", default=None,
+        metavar="ENTRIES:WAYS",
+        help="ATB size axis, e.g. 128:4 (repeatable; default: 128:4)",
+    )
+    sweep.add_argument(
+        "--atb-miss-penalty", dest="atb_miss_penalties",
+        action="append", type=int, default=None, metavar="CYCLES",
+        help="ATB miss penalty axis (repeatable; default: 2)",
+    )
+    sweep.add_argument(
+        "--predictor", dest="predictors", action="append",
+        default=None, choices=("block", "gshare"),
+        help="next-block predictor axis (repeatable; default: block)",
+    )
+    sweep.add_argument(
+        "--gshare-bits", dest="gshare_bits", action="append",
+        type=int, default=None, metavar="BITS",
+        help="gshare history width axis (repeatable; only expands "
+             "under --predictor gshare)",
+    )
+    sweep.add_argument(
+        "--l0", dest="l0", action="append", type=int, default=None,
+        metavar="OPS",
+        help="L0 buffer capacity axis in ops (repeatable; only "
+             "expands for the compressed scheme)",
+    )
+    sweep.add_argument(
+        "--bus", dest="bus", action="append", type=int, default=None,
+        metavar="BYTES",
+        help="memory bus width axis in bytes (repeatable; default: 8)",
+    )
+    sweep.add_argument(
+        "--paper-geometry", action="store_true",
+        help="default geometries use the paper's literal 16/20KB pair "
+             "instead of the pressure-scaled pair",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="shard cold configs across N processes "
+             "(default: REPRO_JOBS or 1)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent artifact cache",
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the sweep payload and stage metrics as JSON",
+    )
+    _add_client_flags(sweep, via=True)
+
     serve = sub.add_parser(
         "serve",
         help="run the long-lived study daemon on a Unix socket",
@@ -1019,6 +1226,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "cache": _cmd_cache,
         "study": _cmd_study,
+        "sweep": _cmd_sweep,
         "serve": _cmd_serve,
         "client": _cmd_client,
     }[args.command]

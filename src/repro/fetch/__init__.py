@@ -36,6 +36,13 @@ from repro.fetch.engine import (
 )
 from repro.fetch.kernel import kernel_supported, simulate_fetch_kernel
 from repro.fetch.l0buffer import L0Buffer
+from repro.fetch.sweep import (
+    config_from_json,
+    config_to_json,
+    simulate_fetch_sweep,
+    simulate_fetch_sweep_multi,
+    sweep_supported,
+)
 
 __all__ = [
     "ATB",
@@ -51,8 +58,13 @@ __all__ = [
     "TAILORED_CACHE",
     "att_bytes",
     "att_overhead_percent",
+    "config_from_json",
+    "config_to_json",
     "kernel_supported",
     "simulate_fetch",
     "simulate_fetch_kernel",
     "simulate_fetch_reference",
+    "simulate_fetch_sweep",
+    "simulate_fetch_sweep_multi",
+    "sweep_supported",
 ]

@@ -50,7 +50,7 @@ def kernel_supported(config: FetchConfig) -> bool:
     )
 
 
-def _penalty_pair(
+def penalty_pair(
     penalties: PenaltyTable, scheme: str, pred: bool, hit: bool
 ) -> tuple[int, int]:
     """(base_cycles, cycles_per_extra_line) for one Table 1 row.
@@ -68,6 +68,81 @@ def _penalty_pair(
         - base
     )
     return base, slope
+
+
+_penalty_pair = penalty_pair  # retained alias (pre-sweep kernel name)
+
+
+def block_meta_columns(image) -> tuple:
+    """``(kinds, targets, falls, mop_counts, op_counts)`` flat columns.
+
+    One pass over :class:`BlockMeta` per block; ``-1`` encodes "no
+    target"/"no fallthrough".  Shared by the single-config kernel and
+    the multi-config sweep engine so their views of the image cannot
+    drift.
+    """
+    nblocks = len(image)
+    kinds = [0] * nblocks
+    targets = [-1] * nblocks
+    falls = [-1] * nblocks
+    mop_counts = [0] * nblocks
+    op_counts = [0] * nblocks
+    for block in image:
+        meta = BlockMeta.from_block(block)
+        bid = meta.block_id
+        kinds[bid] = meta.kind
+        targets[bid] = -1 if meta.target is None else meta.target
+        falls[bid] = -1 if meta.fallthrough is None else meta.fallthrough
+        mop_counts[bid] = meta.mop_count
+        op_counts[bid] = meta.op_count
+    return kinds, targets, falls, mop_counts, op_counts
+
+
+def block_span_pairs(compressed: CompressedImage, geometry) -> list:
+    """Per-block ``((set_index, line), ...)`` tuples for one geometry.
+
+    Mirrors ``BankedCache``'s odd/even banking: line parity selects the
+    bank, the halved line number selects the set within it.
+    """
+    line_bytes = geometry.line_bytes
+    half_sets = geometry.num_sets >> 1
+    span_pairs = []
+    for bid in range(len(compressed.image)):
+        start = compressed.block_offset(bid)
+        size = max(1, compressed.block_size(bid))
+        first = start // line_bytes
+        last = (start + size - 1) // line_bytes
+        span_pairs.append(tuple(
+            ((((line >> 1) % half_sets) << 1) | (line & 1), line)
+            for line in range(first, last + 1)
+        ))
+    return span_pairs
+
+
+def block_bus_beats(
+    compressed: CompressedImage, bus_width: int
+) -> tuple[list, list]:
+    """``(beats_by_block, payload_lens)`` for one bus width.
+
+    Beats are big-endian words padded exactly like ``BusModel``.
+    """
+    if bus_width <= 0:
+        raise ConfigurationError(
+            f"bus width must be positive, got {bus_width}"
+        )
+    beats_by_block: list[list[int]] = []
+    payload_lens: list[int] = []
+    for bid in range(len(compressed.image)):
+        payload = bytes(compressed.block_payloads[bid])
+        payload_lens.append(len(payload))
+        beats = []
+        for i in range(0, len(payload), bus_width):
+            chunk = payload[i : i + bus_width]
+            if len(chunk) < bus_width:
+                chunk = chunk + b"\x00" * (bus_width - len(chunk))
+            beats.append(int.from_bytes(chunk, "big"))
+        beats_by_block.append(beats)
+    return beats_by_block, payload_lens
 
 
 def simulate_fetch_kernel(
@@ -90,58 +165,25 @@ def simulate_fetch_kernel(
     nblocks = len(image)
 
     # ---------------------------------------------------- block columns
-    kinds = [0] * nblocks
-    targets = [-1] * nblocks  # -1 encodes "no target" (None)
-    falls = [-1] * nblocks
-    mop_counts = [0] * nblocks
-    op_counts = [0] * nblocks
-    for block in image:
-        meta = BlockMeta.from_block(block)
-        bid = meta.block_id
-        kinds[bid] = meta.kind
-        targets[bid] = -1 if meta.target is None else meta.target
-        falls[bid] = -1 if meta.fallthrough is None else meta.fallthrough
-        mop_counts[bid] = meta.mop_count
-        op_counts[bid] = meta.op_count
+    kinds, targets, falls, mop_counts, op_counts = block_meta_columns(
+        image
+    )
 
     # Cache geometry → per-block (set_index, line) pairs, computed once.
     # Single-line blocks (the common case) get a flattened fast path.
     geometry = config.cache
     line_bytes = geometry.line_bytes
-    half_sets = geometry.num_sets >> 1
     cache_ways = geometry.ways
-    span_pairs: list[tuple[tuple[int, int], ...]] = []
-    span_single: list = []  # (set_index, line) when one line, else None
-    for bid in range(nblocks):
-        start = compressed.block_offset(bid)
-        size = max(1, compressed.block_size(bid))
-        first = start // line_bytes
-        last = (start + size - 1) // line_bytes
-        pairs = tuple(
-            ((((line >> 1) % half_sets) << 1) | (line & 1), line)
-            for line in range(first, last + 1)
-        )
-        span_pairs.append(pairs)
-        span_single.append(pairs[0] if len(pairs) == 1 else None)
+    span_pairs = block_span_pairs(compressed, geometry)
+    # (set_index, line) when one line, else None
+    span_single = [
+        pairs[0] if len(pairs) == 1 else None for pairs in span_pairs
+    ]
 
     # Bus traffic → per-block beat words, padded exactly like BusModel.
-    bus_width = config.bus_bytes
-    if bus_width <= 0:
-        raise ConfigurationError(
-            f"bus width must be positive, got {bus_width}"
-        )
-    beats_by_block: list[list[int]] = []
-    payload_lens: list[int] = []
-    for bid in range(nblocks):
-        payload = bytes(compressed.block_payloads[bid])
-        payload_lens.append(len(payload))
-        beats = []
-        for i in range(0, len(payload), bus_width):
-            chunk = payload[i : i + bus_width]
-            if len(chunk) < bus_width:
-                chunk = chunk + b"\x00" * (bus_width - len(chunk))
-            beats.append(int.from_bytes(chunk, "big"))
-        beats_by_block.append(beats)
+    beats_by_block, payload_lens = block_bus_beats(
+        compressed, config.bus_bytes
+    )
 
     # ------------------------------------------------------- structures
     atb_ways = config.atb_ways
@@ -200,10 +242,10 @@ def simulate_fetch_kernel(
     # (prediction, cache) outcomes, with the streaming tail (mop_count-1)
     # folded in.  The loop then adds a single precomputed integer.
     penalties = config.penalties
-    hit_pen_t = _penalty_pair(penalties, scheme, True, True)
-    hit_pen_f = _penalty_pair(penalties, scheme, False, True)
-    miss_pen_t = _penalty_pair(penalties, scheme, True, False)
-    miss_pen_f = _penalty_pair(penalties, scheme, False, False)
+    hit_pen_t = penalty_pair(penalties, scheme, True, True)
+    hit_pen_f = penalty_pair(penalties, scheme, False, True)
+    miss_pen_t = penalty_pair(penalties, scheme, True, False)
+    miss_pen_f = penalty_pair(penalties, scheme, False, False)
     buf_hit_cycles = (
         penalties.initiation_cycles(
             "compressed", pred_correct=True, cache_hit=True,

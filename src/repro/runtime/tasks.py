@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-STAGES = ("compile", "trace", "compress", "fetch")
+STAGES = ("compile", "trace", "compress", "fetch", "sweep")
 
 #: Which compressed image each fetch organization consumes
 #: ("'Compressed' uses the Full op compression scheme").
@@ -46,6 +46,9 @@ class TaskSpec:
     scale: Optional[int] = None
     scheme: Optional[str] = None  # compression scheme key
     fetch_scheme: Optional[str] = None  # fetch organization
+    #: Stage-specific JSON payload (``sweep`` nodes carry their config
+    #: chunk here — still a cheap picklable string).
+    payload: Optional[str] = None
     deps: Tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
@@ -169,5 +172,9 @@ def execute_task(spec: TaskSpec) -> None:
         study.compressed(spec.scheme)
     elif spec.stage == "fetch":
         study.fetch_metrics(spec.fetch_scheme)
+    elif spec.stage == "sweep":
+        from repro.core.sweep import execute_sweep_chunk
+
+        execute_sweep_chunk(spec)
     else:  # pragma: no cover - __post_init__ rejects these
         raise ConfigurationError(f"unknown stage {spec.stage!r}")

@@ -16,7 +16,12 @@ the same handler code over the same store
 from __future__ import annotations
 
 from repro.serve.client import ServeClient
-from repro.serve.handlers import HANDLERS, ServerContext, study_payload
+from repro.serve.handlers import (
+    HANDLERS,
+    ServerContext,
+    study_payload,
+    sweep_payload,
+)
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     KINDS,
@@ -38,4 +43,5 @@ __all__ = [
     "default_socket_path",
     "serve",
     "study_payload",
+    "sweep_payload",
 ]

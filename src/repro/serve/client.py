@@ -164,6 +164,28 @@ class ServeClient:
             retries=retries,
         )
 
+    def sweep(
+        self,
+        benchmark: str,
+        *,
+        scale: Optional[int] = None,
+        configs=None,
+        grid: Optional[dict] = None,
+        retries: int = 0,
+    ) -> dict:
+        """Run a multi-config fetch sweep on the daemon.
+
+        Pass either ``configs`` (a list of config-point dicts, see
+        :func:`repro.fetch.sweep.config_to_json`) or ``grid`` (axis
+        lists the server expands).
+        """
+        params: dict = {"benchmark": benchmark, "scale": scale}
+        if configs is not None:
+            params["configs"] = list(configs)
+        if grid is not None:
+            params["grid"] = grid
+        return self.call("sweep", params, retries=retries)
+
     def check(self, *, retries: int = 0, **params) -> dict:
         return self.call("check", params, retries=retries)
 

@@ -196,6 +196,124 @@ def _execute_study(ctx: ServerContext, params: dict) -> dict:
     )
 
 
+# -------------------------------------------------------------- sweep
+#: Grid-axis keys :func:`repro.core.sweep.expand_grid` understands.
+_GRID_AXES = (
+    "schemes", "caches", "atbs", "atb_miss_penalties", "predictors",
+    "gshare_bits", "l0_capacities", "bus_widths", "scaled",
+)
+
+
+def sweep_payload(
+    benchmark: str,
+    scale: Optional[int],
+    configs,
+    *,
+    jobs: int = 1,
+) -> dict:
+    """One multi-config sweep, as its canonical JSON payload.
+
+    Shared by ``repro sweep`` (in-process) and the daemon's ``sweep``
+    handler, so the two paths are byte-identical by construction — same
+    engine, same store digests, same serialization.
+    """
+    from dataclasses import asdict
+
+    from repro.core.study import study_for
+    from repro.core.sweep import run_sweep
+    from repro.fetch.sweep import config_to_json
+
+    metrics = run_sweep(benchmark, configs, scale=scale, jobs=jobs)
+    results = []
+    for config, m in zip(configs, metrics):
+        results.append(
+            {
+                "config": config_to_json(config),
+                "metrics": asdict(m),
+                "ipc": m.ipc,
+                "cache_hit_rate": m.cache_hit_rate,
+            }
+        )
+    return {
+        "benchmark": benchmark,
+        "scale": study_for(benchmark, scale).effective_scale,
+        "configs": len(configs),
+        "results": results,
+    }
+
+
+def _normalize_sweep(params: dict) -> dict:
+    """Canonical sweep params: an explicit ordered config-point list.
+
+    A request carries either ``configs`` (explicit points) or ``grid``
+    (axis lists expanded server-side); both normalize to the same
+    canonical form, so the dedup identity is exactly "this benchmark,
+    this scale, this ordered config grid" — plus the source fingerprint
+    the job table already mixes in.
+    """
+    from repro.core.sweep import expand_grid
+    from repro.errors import ConfigurationError
+    from repro.fetch.sweep import config_from_json, config_to_json
+    from repro.programs.suite import SUITE
+
+    benchmark = _norm_benchmark(params)
+    scale = _norm_scale(params)
+    if scale is None:
+        scale = SUITE[benchmark].default_scale
+    configs = params.get("configs")
+    grid = params.get("grid")
+    _require(
+        (configs is None) != (grid is None),
+        "exactly one of configs (point list) or grid (axis lists) "
+        "is required",
+    )
+    try:
+        if grid is not None:
+            _require(
+                isinstance(grid, dict)
+                and all(key in _GRID_AXES for key in grid),
+                f"grid keys must be among {', '.join(_GRID_AXES)}",
+            )
+            kwargs = {
+                key: value for key, value in grid.items()
+                if key != "schemes" and value is not None
+            }
+            for axis in ("caches", "atbs"):
+                if axis in kwargs:
+                    kwargs[axis] = [tuple(p) for p in kwargs[axis]]
+            points = expand_grid(
+                grid.get("schemes")
+                or ("base", "tailored", "compressed"),
+                **kwargs,
+            )
+        else:
+            _require(
+                isinstance(configs, (list, tuple)) and len(configs) > 0,
+                "configs must be a non-empty list of config points",
+            )
+            points = [config_from_json(point) for point in configs]
+        canonical = [config_to_json(point) for point in points]
+    except ConfigurationError as exc:
+        raise ProtocolError("bad-params", str(exc)) from None
+    _require(bool(canonical), "the grid expands to zero config points")
+    return {
+        "benchmark": benchmark,
+        "scale": scale,
+        "configs": canonical,
+    }
+
+
+def _execute_sweep(ctx: ServerContext, params: dict) -> dict:
+    from repro.fetch.sweep import config_from_json
+
+    configs = [
+        config_from_json(point) for point in params["configs"]
+    ]
+    return sweep_payload(
+        params["benchmark"], params["scale"], configs, jobs=ctx.jobs
+    )
+
+
 # -------------------------------------------------------------- bench
 def _normalize_bench(params: dict) -> dict:
     from repro.bench import BY_NAME
@@ -327,6 +445,7 @@ def execute_ping(ctx: ServerContext, params: dict) -> dict:
 #: ``cache-stats`` and ``shutdown`` are always handled inline.
 HANDLERS: Dict[str, Handler] = {
     "study": Handler("study", _normalize_study, _execute_study),
+    "sweep": Handler("sweep", _normalize_sweep, _execute_sweep),
     "bench": Handler("bench", _normalize_bench, _execute_bench),
     "check": Handler("check", _normalize_check, _execute_check),
     "analyze": Handler("analyze", _normalize_analyze, _execute_analyze),

@@ -51,6 +51,7 @@ DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
 #: Request kinds the daemon understands, in documentation order.
 KINDS = (
     "study",
+    "sweep",
     "bench",
     "check",
     "analyze",

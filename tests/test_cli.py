@@ -377,3 +377,59 @@ class TestAnalyzeCommand:
             ["analyze", "--program", "compress", "--scale", "2"]
         ) == 2
         assert "REPRO_ANALYZE" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "compress", "--scale", "2",
+        "--scheme", "base", "--scheme", "compressed",
+        "--cache", "512:2:16", "--cache", "1024:2:32",
+        "--l0", "8", "--l0", "32",
+    ]
+
+    def test_sweep_table_output(self, capsys, fresh_cache):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Sweep (compress@2, 6 configs)" in out
+        assert "base" in out and "compressed" in out
+        assert "512:2:16" in out and "1024:2:32" in out
+
+    def test_sweep_json_payload_shape(self, capsys, fresh_cache):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        sweep = payload["sweep"]
+        # 2 caches × (base + compressed×2 L0) = 6 config points.
+        assert sweep["benchmark"] == "compress"
+        assert sweep["scale"] == 2
+        assert sweep["configs"] == 6
+        assert len(sweep["results"]) == 6
+        entry = sweep["results"][0]
+        assert entry["config"]["scheme"] == "base"
+        assert entry["metrics"]["cycles"] > 0
+        assert entry["ipc"] > 0
+        assert payload["metrics"]["totals"]["misses"] > 0  # cold store
+
+    def test_sweep_results_warm_the_store(self, capsys, fresh_cache):
+        assert main(self.ARGS + ["--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        clear_caches()
+        assert main(self.ARGS + ["--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["sweep"] == cold["sweep"]
+        assert warm["metrics"]["totals"]["misses"] == 0
+
+    def test_sweep_malformed_cache_flag_exits_two(self, capsys):
+        assert main(
+            ["sweep", "compress", "--cache", "512:2"]
+        ) == 2
+        assert "--cache expects N:N:N" in capsys.readouterr().err
+
+    def test_sweep_invalid_geometry_exits_two(self, capsys):
+        assert main(
+            ["sweep", "compress", "--cache", "600:2:32"]
+        ) == 2
+        assert "configuration error" in capsys.readouterr().err
+
+    def test_sweep_unknown_benchmark_exits_two(self, capsys):
+        assert main(["sweep", "warp-drive", "--scale", "2"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
