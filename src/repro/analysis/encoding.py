@@ -256,7 +256,13 @@ def _att_coverage(ctx: RuleContext) -> None:
     addr_bits = bits_for(max(1, compressed.total_code_bytes - 1))
     line_bits = bits_for(max(line_counts))
     mop_bits = bits_for(max(b.mop_count for b in image))
-    expected_entry = addr_bits + line_bits + mop_bits + addr_bits
+    # Per-block-adaptive images additionally name each block's decoder
+    # in its entry — re-derived here from the tag view, not from the
+    # scheme_tag_bits property the rule is auditing.
+    tag_bits = 1 if compressed.block_scheme_tags() is not None else 0
+    expected_entry = (
+        addr_bits + line_bits + mop_bits + addr_bits + tag_bits
+    )
     actual_entry = att_entry_bits(compressed, geometry)
     if actual_entry != expected_entry:
         ctx.error(
@@ -309,3 +315,172 @@ def _att_coverage(ctx: RuleContext) -> None:
                     block=block,
                     hint="pipelined fetch needs the successor address",
                 )
+
+
+def _tailored_op_bits(spec, op) -> int:
+    """Bit width one op occupies in the tailored encoding, re-derived
+    from the spec layout (tail bit, optional speculative bit, opcode
+    selector, per-field tailored widths) without running the encoder."""
+    bits = 1 + (1 if spec.speculative_used else 0) + spec.selector_width
+    for fu in spec.formats[op.opcode.format_name].fields:
+        bits += fu.tailored_width
+    return bits
+
+
+@rule(
+    "scheme-tags",
+    kind="encoding",
+    description=(
+        "hybrid per-block scheme tags are well-formed and each block's "
+        "payload is sized exactly for its tagged encoder"
+    ),
+)
+def _scheme_tags(ctx: RuleContext) -> None:
+    from repro.compression.adaptive import (
+        BLOCK_START_CONTEXT,
+        COLD_TAG,
+        HOT_TAG,
+        HybridImage,
+        context_of,
+    )
+
+    compressed = ctx.compressed
+    if not isinstance(compressed, HybridImage):
+        return
+    tags = compressed.block_tags
+    if len(tags) != len(ctx.image):
+        ctx.error(
+            f"{len(tags)} scheme tags for {len(ctx.image)} blocks",
+            hint="one ATT tag bit per basic block",
+        )
+        return
+    for block in ctx.image:
+        ctx.checked()
+        tag = tags[block.block_id]
+        if tag not in (HOT_TAG, COLD_TAG):
+            ctx.error(
+                f"unknown scheme tag {tag!r}",
+                block=block,
+                hint=f"tags must be {HOT_TAG!r} or {COLD_TAG!r}",
+            )
+            continue
+        if tag == HOT_TAG:
+            expected_bits = sum(
+                _tailored_op_bits(compressed.spec, op)
+                for op in block.ops
+            )
+        else:
+            expected_bits = 0
+            walk = BLOCK_START_CONTEXT
+            covered = True
+            for op in block.ops:
+                word = op.encode()
+                index = compressed.context_index.get(walk)
+                entry = (
+                    compressed.streams[index].code.codes.get(word)
+                    if index is not None
+                    else None
+                )
+                if entry is None:
+                    covered = False
+                    break
+                expected_bits += entry[1]
+                walk = context_of(word)
+            if not covered:
+                continue  # context-codebooks reports the coverage gap
+        actual_bits = compressed.block_bit_lengths[block.block_id]
+        if actual_bits != expected_bits:
+            ctx.error(
+                f"{tag} block carries {actual_bits} payload bits, "
+                f"its tagged encoder needs {expected_bits}",
+                block=block,
+                hint="the block was encoded under the wrong scheme "
+                "for its ATT tag",
+            )
+
+
+@rule(
+    "context-codebooks",
+    kind="encoding",
+    description=(
+        "per-context codebooks satisfy Kraft and cover every symbol an "
+        "independent context walk of the image emits"
+    ),
+)
+def _context_codebooks(ctx: RuleContext) -> None:
+    from fractions import Fraction
+
+    from repro.compression.adaptive import (
+        BLOCK_START_CONTEXT,
+        COLD_TAG,
+        ContextImage,
+        HybridImage,
+        context_of,
+    )
+
+    compressed = ctx.compressed
+    if isinstance(compressed, HybridImage):
+        coded_blocks = [
+            b for b in ctx.image
+            if compressed.block_tags[b.block_id] == COLD_TAG
+        ]
+    elif isinstance(compressed, ContextImage):
+        coded_blocks = list(ctx.image)
+    else:
+        return
+    if tuple(sorted(set(compressed.context_ids))) != (
+        compressed.context_ids
+    ):
+        ctx.error(
+            f"context ids {compressed.context_ids} are not sorted and "
+            "unique",
+            hint="stream order is the decoder's context index",
+        )
+        return
+    bound = compressed.scheme.max_code_length
+    for context_id, table in zip(
+        compressed.context_ids, compressed.streams
+    ):
+        ctx.checked()
+        kraft = sum(
+            Fraction(1, 1 << length)
+            for _, length in table.code.codes.values()
+        )
+        if len(table.code.codes) > 1 and kraft > 1:
+            ctx.error(
+                f"context {context_id} codebook violates Kraft "
+                f"(sum 2^-len = {float(kraft):.4f} > 1)",
+                hint="the code is not uniquely decodable",
+            )
+        if bound is not None and any(
+            length > bound
+            for _, length in table.code.codes.values()
+        ):
+            ctx.error(
+                f"context {context_id} codebook exceeds the "
+                f"{bound}-bit hardware length bound",
+                hint="rebuild the code with the length limit applied",
+            )
+    missing = set()
+    for block in coded_blocks:
+        walk = BLOCK_START_CONTEXT
+        for op_index, op in enumerate(block.ops):
+            ctx.checked()
+            word = op.encode()
+            index = compressed.context_index.get(walk)
+            entry = (
+                compressed.streams[index].code.codes.get(word)
+                if index is not None
+                else None
+            )
+            if entry is None and (walk, word) not in missing:
+                missing.add((walk, word))
+                ctx.error(
+                    f"context {walk} emits symbol {word:#x} absent "
+                    "from its codebook",
+                    block=block,
+                    op_index=op_index,
+                    hint="each context's dictionary must cover every "
+                    "symbol the walk emits in that context",
+                )
+            walk = context_of(word)

@@ -50,8 +50,11 @@ from repro.isa.image import BasicBlockImage, ProgramImage
 KINDS = ("machine", "encoding")
 
 #: Schemes :func:`analyze_program` verifies by default: the baseline
-#: identity encoding plus the three headline compressors.
-DEFAULT_SCHEMES = ("base", "byte", "full", "tailored")
+#: identity encoding, the three headline compressors, and the adaptive
+#: pair (context-modeled and per-block hybrid).
+DEFAULT_SCHEMES = (
+    "base", "byte", "full", "tailored", "context", "hybrid"
+)
 
 #: Recognized ``repro analyze --inject`` tags.
 INJECT_TAGS = ("bad-branch",)
@@ -287,7 +290,9 @@ def analyze_program(
     """Statically verify one benchmark: image plus every scheme.
 
     Artifacts come from the shared :class:`ProgramStudy` (and therefore
-    the persistent cache); nothing is executed.
+    the persistent cache); the rules execute nothing.  (Materializing a
+    *hybrid* image cold runs the study's emulator once for its heat
+    profile — the same trace every other stage shares.)
     """
     from repro.core.study import study_for
 

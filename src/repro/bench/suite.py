@@ -126,6 +126,7 @@ def _fetch_setup(scheme: str, quick: bool) -> Dict[str, Any]:
     study = study_for(_MACRO_BENCH, _MACRO_SCALE)
     image_key = {
         "base": "base", "tailored": "tailored", "compressed": "full",
+        "hybrid": "hybrid",
     }[scheme]
     repeat = 3 if quick else 20
     return {
@@ -207,6 +208,38 @@ def _sweep_describe(workload) -> Dict[str, Any]:
         "trace_blocks": len(workload["trace"]),
         "configs": len(workload["grid"]),
         "identical_configs": sum(flags),
+    }
+
+
+# -------------------------------------------------------- adaptive sweep
+#: A mixed-scheme grid with the hybrid hotness axis: the columnar
+#: engine must stay exact when per-block penalty families and the
+#: cold-only L0 are in play (2×2 hybrid points + 2 compressed = 10).
+def _adaptive_grid():
+    from repro.core.sweep import expand_grid
+
+    return expand_grid(
+        ("compressed", "hybrid"),
+        hotness_thresholds=(0.15, 0.3),
+        l0_capacities=(16, 32),
+        bus_widths=(8,),
+    )
+
+def _adaptive_setup(quick: bool) -> Dict[str, Any]:
+    from repro.core.study import study_for
+
+    study = study_for(_MACRO_BENCH, _MACRO_SCALE)
+    repeat = 2 if quick else 3
+    grid = _adaptive_grid()
+    return {
+        "images": {
+            config.scheme: study.compressed(
+                "full" if config.scheme == "compressed" else config.scheme
+            )
+            for config in grid
+        },
+        "trace": list(study.run.block_trace) * repeat,
+        "grid": grid,
     }
 
 
@@ -457,6 +490,7 @@ def _build_benchmarks() -> tuple:
         _fetch_benchmark("base"),
         _fetch_benchmark("tailored"),
         _fetch_benchmark("compressed"),
+        _fetch_benchmark("hybrid"),
         Benchmark(
             name="sweep_grid",
             kind="macro",
@@ -465,6 +499,19 @@ def _build_benchmarks() -> tuple:
                 "(columnar sweep engine vs one kernel replay per config)"
             ),
             setup=_sweep_setup,
+            reference=_sweep_sequential,
+            kernel=_sweep_batched,
+            compare=_sweep_compare,
+            describe=_sweep_describe,
+        ),
+        Benchmark(
+            name="sweep_adaptive",
+            kind="macro",
+            description=(
+                "simulate a mixed compressed/hybrid hotness grid "
+                "(columnar sweep engine vs one kernel replay per config)"
+            ),
+            setup=_adaptive_setup,
             reference=_sweep_sequential,
             kernel=_sweep_batched,
             compare=_sweep_compare,

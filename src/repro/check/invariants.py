@@ -20,7 +20,7 @@ from repro.fetch.config import FetchConfig
 from repro.fetch.l0buffer import L0Buffer
 
 #: Fetch organizations the studies model.
-FETCH_SCHEMES = ("base", "tailored", "compressed", "ideal")
+FETCH_SCHEMES = ("base", "tailored", "compressed", "hybrid", "ideal")
 
 
 def compression_schemes(ctx: CheckContext) -> tuple:
@@ -29,7 +29,9 @@ def compression_schemes(ctx: CheckContext) -> tuple:
     streams = tuple(cfg.name for cfg in SIX_STREAM_CONFIGS)
     if ctx.quick:
         streams = streams[:1]
-    return ("base", "byte", "full", "tailored") + streams
+    return (
+        "base", "byte", "full", "tailored", "context", "hybrid"
+    ) + streams
 
 
 # --------------------------------------------------------- compression
@@ -130,11 +132,14 @@ def _att_sizing(ctx: CheckContext, rec: Recorder) -> None:
     # geometry a fetch study uses.
     for benchmark in ctx.benchmarks:
         study = ctx.study(benchmark)
-        for fetch_scheme in ("base", "tailored", "compressed"):
+        for fetch_scheme in (
+            "base", "tailored", "compressed", "hybrid"
+        ):
             image_key = {
                 "base": "base",
                 "tailored": "tailored",
                 "compressed": "full",
+                "hybrid": "hybrid",
             }[fetch_scheme]
             compressed = study.compressed(image_key)
             geometry = FetchConfig.for_scheme(
@@ -223,6 +228,24 @@ def _fetch_conservation(ctx: CheckContext, rec: Recorder) -> None:
                     "L0 hits + misses vs accesses",
                 )
                 cache_accesses = metrics.buffer_misses
+            elif scheme == "hybrid":
+                # Only tagged-cold blocks probe the L0: recompute the
+                # cold fetch count from the tags and the trace.
+                tags = study.compressed(
+                    "hybrid"
+                ).block_scheme_tags()
+                cold_fetches = sum(
+                    1 for b in trace if tags[b] == "compressed"
+                )
+                rec.expect_equal(
+                    metrics.buffer_hits + metrics.buffer_misses,
+                    cold_fetches,
+                    subject,
+                    "L0 hits + misses vs tagged-cold fetches",
+                )
+                cache_accesses = (
+                    metrics.blocks_fetched - metrics.buffer_hits
+                )
             else:
                 rec.expect_equal(
                     metrics.buffer_hits + metrics.buffer_misses,
@@ -269,11 +292,14 @@ def _kernel_vs_reference(ctx: CheckContext, rec: Recorder) -> None:
     length = 1500 if ctx.quick else 6000
     for benchmark in ctx.benchmarks:
         study = ctx.study(benchmark)
-        for fetch_scheme in ("base", "tailored", "compressed"):
+        for fetch_scheme in (
+            "base", "tailored", "compressed", "hybrid"
+        ):
             image_key = {
                 "base": "base",
                 "tailored": "tailored",
                 "compressed": "full",
+                "hybrid": "hybrid",
             }[fetch_scheme]
             compressed = study.compressed(image_key)
             config = FetchConfig.for_scheme(fetch_scheme, scaled=True)
@@ -304,11 +330,59 @@ def _kernel_vs_reference(ctx: CheckContext, rec: Recorder) -> None:
             )
 
 
+@invariant(
+    "hybrid-tags",
+    scope="compression",
+    description="hybrid per-block tags match an independent hot-set "
+                "recomputation from the study's own trace",
+)
+def _hybrid_tags(ctx: CheckContext, rec: Recorder) -> None:
+    from repro.compression.adaptive import (
+        COLD_TAG,
+        HOT_TAG,
+        heat_profile,
+        hot_block_ids,
+    )
+
+    for benchmark in ctx.benchmarks:
+        study = ctx.study(benchmark)
+        compressed = study.compressed("hybrid")
+        subject = f"{benchmark}/hybrid"
+        profile = heat_profile(
+            study.run.block_trace, len(study.compiled.image)
+        )
+        rec.expect_equal(
+            tuple(compressed.profile), profile, subject,
+            "stored heat profile vs trace recount",
+        )
+        hot = hot_block_ids(profile, compressed.hotness)
+        expected = tuple(
+            HOT_TAG if bid in hot else COLD_TAG
+            for bid in range(len(profile))
+        )
+        rec.expect_equal(
+            tuple(compressed.block_scheme_tags()), expected, subject,
+            "ATT scheme tags vs recomputed hot set",
+        )
+        # The hot set must actually cover the threshold (or exhaust
+        # every executed block trying).
+        covered = sum(profile[bid] for bid in hot)
+        executed = sum(1 for c in profile if c)
+        rec.expect(
+            covered >= compressed.hotness * sum(profile)
+            or len(hot) == executed,
+            subject,
+            f"hot set covers {covered} of {sum(profile)} fetches, "
+            f"below the {compressed.hotness} threshold",
+        )
+
+
 # -------------------------------------------------------------- sweep
 _SWEEP_IMAGE_KEYS = (
     ("base", "base"),
     ("tailored", "tailored"),
     ("compressed", "full"),
+    ("hybrid", "hybrid"),
 )
 
 
@@ -356,7 +430,7 @@ def _sweep_vs_kernel(ctx: CheckContext, rec: Recorder) -> None:
             3,
         )
         grid = expand_grid(
-            ("base", "tailored", "compressed"),
+            ("base", "tailored", "compressed", "hybrid"),
             caches=caches,
             atbs=[rng.choice([(32, 4), (64, 4)]), (128, 4)],
             predictors=("block", "gshare"),
@@ -603,13 +677,13 @@ def _static_verifier(ctx: CheckContext, rec: Recorder) -> None:
         analyze_image,
         corrupt_branch_target,
     )
-    from repro.analysis.verifier import _geometry_for
+    from repro.analysis.verifier import DEFAULT_SCHEMES, _geometry_for
 
     for benchmark in ctx.benchmarks:
         study = ctx.study(benchmark)
         image = study.compiled.image
         report = analyze_image(image, program=benchmark)
-        for scheme in ("base", "byte", "full", "tailored"):
+        for scheme in DEFAULT_SCHEMES:
             report.merge(
                 analyze_encoding(
                     study.compressed(scheme),

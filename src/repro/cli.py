@@ -616,6 +616,8 @@ def _sweep_grid(args):
         kwargs["l0_capacities"] = args.l0
     if args.bus:
         kwargs["bus_widths"] = args.bus
+    if args.hotness_thresholds:
+        kwargs["hotness_thresholds"] = args.hotness_thresholds
     return expand_grid(
         tuple(args.schemes or ("base", "tailored", "compressed")),
         **kwargs,
@@ -1030,8 +1032,17 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--scale", type=int, default=None)
     sweep.add_argument(
         "--scheme", dest="schemes", action="append", default=None,
-        choices=("base", "tailored", "compressed"),
-        help="fetch organization axis (repeatable; default: all three)",
+        metavar="KEY",
+        help="fetch organization axis: base|tailored|compressed|"
+             "hybrid[@T] (repeatable; default: base tailored "
+             "compressed)",
+    )
+    sweep.add_argument(
+        "--hotness", dest="hotness_thresholds", action="append",
+        type=float, default=None, metavar="T",
+        help="hybrid hotness-threshold axis in [0,1]; each bare "
+             "'hybrid' scheme entry expands into one hybrid@T point "
+             "per value (repeatable)",
     )
     sweep.add_argument(
         "--cache", dest="caches", action="append", default=None,
@@ -1064,7 +1075,7 @@ def main(argv: list[str] | None = None) -> int:
         "--l0", dest="l0", action="append", type=int, default=None,
         metavar="OPS",
         help="L0 buffer capacity axis in ops (repeatable; only "
-             "expands for the compressed scheme)",
+             "expands for the compressed and hybrid schemes)",
     )
     sweep.add_argument(
         "--bus", dest="bus", action="append", type=int, default=None,

@@ -21,6 +21,14 @@ contrasts this with Wolfe's unified encoding), keeps blocks byte aligned
 tree transistor-count model used for Figure 10.
 """
 
+from repro.compression.adaptive import (
+    ContextHuffmanScheme,
+    ContextImage,
+    HybridImage,
+    HybridScheme,
+    heat_profile,
+    hot_block_ids,
+)
 from repro.compression.alphabets import (
     SIX_STREAM_CONFIGS,
     StreamConfig,
@@ -32,6 +40,15 @@ from repro.compression.decoder_cost import (
     scheme_decoder_cost,
 )
 from repro.compression.huffman import HuffmanCode
+from repro.compression.registry import (
+    HYBRID_DEFAULT_HOTNESS,
+    UnknownSchemeError,
+    hybrid_key,
+    known_scheme_keys,
+    normalize_scheme_key,
+    parse_hybrid_key,
+    scheme_factory,
+)
 from repro.compression.schemes import (
     BaselineScheme,
     ByteHuffmanScheme,
@@ -46,13 +63,25 @@ __all__ = [
     "ByteHuffmanScheme",
     "CompressedImage",
     "CompressionScheme",
+    "ContextHuffmanScheme",
+    "ContextImage",
     "DecoderCost",
     "FullOpHuffmanScheme",
+    "HYBRID_DEFAULT_HOTNESS",
     "HuffmanCode",
+    "HybridImage",
+    "HybridScheme",
     "SIX_STREAM_CONFIGS",
     "StreamConfig",
     "StreamHuffmanScheme",
+    "UnknownSchemeError",
+    "heat_profile",
+    "hot_block_ids",
     "huffman_decoder_transistors",
+    "hybrid_key",
+    "known_scheme_keys",
     "length_limited_code_lengths",
+    "normalize_scheme_key",
+    "parse_hybrid_key",
     "scheme_decoder_cost",
 ]

@@ -1,0 +1,172 @@
+"""Single authority for compression-scheme keys.
+
+Every surface that accepts a scheme key — the batch CLI, the serve
+daemon's param validation, :meth:`ProgramStudy.compressed`, the sweep
+grid builder — routes through this module, so a new scheme family (or a
+parameterized key like ``hybrid@0.75``) is accepted identically
+everywhere.  Keys come in two shapes:
+
+* plain names: ``base``, ``byte``, ``full``, ``tailored``, ``dict``,
+  ``context``, the six stream-configuration names;
+* parameterized hybrid keys: ``hybrid`` (the documented default hotness
+  threshold) or ``hybrid@T`` with ``T`` in [0, 1] — the fraction of
+  dynamic block fetches the hot (tailored-encoded) set must cover.
+
+Unknown or malformed keys raise :class:`UnknownSchemeError`, a
+:class:`~repro.errors.ConfigurationError` subclass, so callers that
+predate the registry keep working while new callers (the serve
+handlers) can distinguish "bad key" from a genuine factory crash.
+
+This module stays import-light (no scheme classes at module level) so
+the fetch layer can use the key helpers without pulling the compressors
+in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: The documented default hotness threshold: the hot set is the smallest
+#: set of blocks covering this fraction of dynamic block fetches.
+#: Chosen empirically (see DESIGN.md): at 0.3 the suite's hot sets are
+#: 2–7 blocks, the hybrid organization fetches strictly fewer cycles
+#: than Compressed on *every* suite program, and the suite-average image
+#: is still ~4% smaller than full-op Huffman (the cold-side context
+#: model more than pays for the tailored hot set), well within the
+#: documented 10% band.
+HYBRID_DEFAULT_HOTNESS = 0.3
+
+_HYBRID_PREFIX = "hybrid@"
+
+#: Plain (non-parameterized) scheme keys, in presentation order.
+_SIMPLE_KEYS = ("base", "byte", "full", "tailored", "dict", "context")
+
+
+class UnknownSchemeError(ConfigurationError):
+    """A scheme key names no registered compression scheme."""
+
+
+def _stream_names() -> tuple:
+    from repro.compression.alphabets import SIX_STREAM_CONFIGS
+
+    return tuple(cfg.name for cfg in SIX_STREAM_CONFIGS)
+
+
+def known_scheme_keys() -> tuple:
+    """Every accepted plain key (hybrid additionally takes ``@T``)."""
+    return _SIMPLE_KEYS + ("hybrid",) + _stream_names()
+
+
+def parse_hybrid_key(key: str) -> Optional[float]:
+    """The hotness threshold of a hybrid key, or ``None`` for other keys.
+
+    Raises :class:`UnknownSchemeError` for a malformed ``hybrid@...``
+    suffix — a key that *claims* to be hybrid must parse.
+    """
+    if key == "hybrid":
+        return HYBRID_DEFAULT_HOTNESS
+    if not isinstance(key, str) or not key.startswith(_HYBRID_PREFIX):
+        return None
+    text = key[len(_HYBRID_PREFIX):]
+    try:
+        hotness = float(text)
+    except ValueError:
+        raise UnknownSchemeError(
+            f"malformed hybrid key {key!r}: {text!r} is not a number"
+        ) from None
+    if not 0.0 <= hotness <= 1.0:
+        raise UnknownSchemeError(
+            f"hybrid hotness threshold must be in [0, 1], got {hotness}"
+        )
+    return hotness
+
+
+def hybrid_key(hotness: float) -> str:
+    """Canonical key for one hotness threshold (default folds to
+    ``hybrid`` so equivalent requests share one store digest)."""
+    hotness = float(hotness)
+    if not 0.0 <= hotness <= 1.0:
+        raise UnknownSchemeError(
+            f"hybrid hotness threshold must be in [0, 1], got {hotness}"
+        )
+    if hotness == HYBRID_DEFAULT_HOTNESS:
+        return "hybrid"
+    return f"hybrid@{hotness:g}"
+
+
+def fetch_scheme_base(scheme: str) -> str:
+    """The penalty/geometry family of a fetch-scheme key
+    (``hybrid@0.75`` → ``hybrid``; everything else unchanged)."""
+    if parse_hybrid_key(scheme) is not None:
+        return "hybrid"
+    return scheme
+
+
+def normalize_scheme_key(key: str) -> str:
+    """Validate ``key`` and return its canonical form.
+
+    Raises :class:`UnknownSchemeError` — and nothing else — for a key
+    that names no scheme, so callers can catch exactly the lookup
+    failure.
+    """
+    if not isinstance(key, str):
+        raise UnknownSchemeError(
+            f"scheme key must be a string, got {type(key).__name__}"
+        )
+    hotness = parse_hybrid_key(key)
+    if hotness is not None:
+        return hybrid_key(hotness)
+    if key in _SIMPLE_KEYS or key in _stream_names():
+        return key
+    raise UnknownSchemeError(
+        f"unknown scheme {key!r} "
+        f"(known: {', '.join(known_scheme_keys())}; "
+        "hybrid also accepts hybrid@T with T in [0, 1])"
+    )
+
+
+def scheme_factory(key: str):
+    """Instantiate the scheme a key names (the single factory).
+
+    Scheme classes are imported lazily so key validation stays cheap
+    for callers that only normalize.
+    """
+    key = normalize_scheme_key(key)
+    from repro.compression.schemes import (
+        BaselineScheme,
+        ByteHuffmanScheme,
+        FullOpHuffmanScheme,
+        StreamHuffmanScheme,
+    )
+
+    if key == "base":
+        return BaselineScheme()
+    if key == "byte":
+        return ByteHuffmanScheme()
+    if key == "full":
+        return FullOpHuffmanScheme()
+    if key == "tailored":
+        from repro.tailored.encoding import TailoredScheme
+
+        return TailoredScheme()
+    if key == "dict":
+        from repro.compression.dictionary import DictionaryScheme
+
+        return DictionaryScheme()
+    if key == "context":
+        from repro.compression.adaptive import ContextHuffmanScheme
+
+        return ContextHuffmanScheme()
+    hotness = parse_hybrid_key(key)
+    if hotness is not None:
+        from repro.compression.adaptive import HybridScheme
+
+        return HybridScheme(hotness)
+    from repro.compression.alphabets import SIX_STREAM_CONFIGS
+
+    for config in SIX_STREAM_CONFIGS:
+        if config.name == key:
+            return StreamHuffmanScheme(config)
+    raise UnknownSchemeError(f"unknown scheme {key!r}")  # pragma: no cover

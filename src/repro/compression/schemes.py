@@ -88,6 +88,26 @@ class CompressedImage:
     def scheme_name(self) -> str:
         return self.scheme.name
 
+    @property
+    def scheme_tag_bits(self) -> int:
+        """ATT bits per entry spent naming the block's decoder.
+
+        Single-scheme images need none; per-block adaptive images (see
+        :mod:`repro.compression.adaptive`) override this, and
+        :func:`repro.fetch.atb.att_entry_bits` charges it.
+        """
+        return 0
+
+    def block_scheme_tags(self) -> Optional[Sequence[str]]:
+        """Per-block fetch-scheme tags, or ``None`` for uniform images.
+
+        When present, entry ``i`` names the penalty family
+        (``"tailored"`` or ``"compressed"``) block ``i`` decodes and is
+        accounted under; the fetch engine, kernel, and sweep columns all
+        honor it.
+        """
+        return None
+
     def block_bytes(self, block_id: int) -> bytes:
         return self.block_payloads[block_id]
 

@@ -212,6 +212,64 @@ def fig14_busflip_rows(
     return headers, rows
 
 
+# ------------------------------------------------- adaptive extension
+def adaptive_rows(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[int] = None,
+) -> Rows:
+    """The access-pattern-adaptive schemes against their parents.
+
+    Size columns are ratio-percent (lower is better): ``context%``
+    conditions the full-op Huffman code on the previous symbol class,
+    ``hybrid%`` re-encodes the trace-hot blocks tailored and keeps the
+    cold majority context-coded.  Cycle and bus-flip columns replay the
+    same trace through the Compressed and hybrid fetch organizations
+    (columnar sweep, bit-identical to the reference engine), so the
+    table shows what the hot set buys at the default hotness threshold.
+    """
+    from repro.core.sweep import expand_grid, run_sweep
+
+    headers = [
+        "benchmark", "full%", "context%", "hybrid%",
+        "compressed_cycles", "hybrid_cycles", "hybrid_flips%of_compr",
+    ]
+    grid = expand_grid(("compressed", "hybrid"))
+    rows = []
+    for name in _names(benchmarks):
+        study = study_for(name, scale)
+        by_scheme = {
+            metrics.scheme: metrics
+            for metrics in run_sweep(name, grid, scale=scale)
+        }
+        compressed = by_scheme["compressed"]
+        hybrid = by_scheme["hybrid"]
+        rows.append(
+            [
+                name,
+                study.compressed("full").ratio_percent(),
+                study.compressed("context").ratio_percent(),
+                study.compressed("hybrid").ratio_percent(),
+                compressed.cycles,
+                hybrid.cycles,
+                100.0
+                * hybrid.bus_bit_flips
+                / max(1, compressed.bus_bit_flips),
+            ]
+        )
+    rows.append(
+        [
+            "average",
+            mean(r[1] for r in rows),
+            mean(r[2] for r in rows),
+            mean(r[3] for r in rows),
+            int(mean(r[4] for r in rows)),
+            int(mean(r[5] for r in rows)),
+            mean(r[6] for r in rows),
+        ]
+    )
+    return headers, rows
+
+
 # ----------------------------------------------------------- registry
 #: All six stream configurations (the Figure 3 search space).
 _STREAM_KEYS = tuple(cfg.name for cfg in SIX_STREAM_CONFIGS)
@@ -257,6 +315,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             fig13_cache_rows, "benchmarks/test_fig13_cache_study.py",
             schemes=("base", "tailored", "full"),
             fetch_schemes=("ideal", "base", "compressed", "tailored"),
+        ),
+        Experiment(
+            "adaptive", "Access-pattern-adaptive schemes (hybrid/context)",
+            adaptive_rows, "benchmarks/test_adaptive_schemes.py",
+            schemes=("full", "context", "hybrid"),
+            fetch_schemes=("compressed", "hybrid"),
         ),
         Experiment(
             "fig14", "Memory-bus bit flips",

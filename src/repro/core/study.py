@@ -28,42 +28,21 @@ from typing import Optional
 from repro import runtime
 from repro.compiler import CompiledProgram
 from repro.compression.alphabets import SIX_STREAM_CONFIGS
-from repro.compression.schemes import (
-    BaselineScheme,
-    ByteHuffmanScheme,
-    CompressedImage,
-    CompressionScheme,
-    FullOpHuffmanScheme,
-    StreamHuffmanScheme,
+from repro.compression.registry import (
+    normalize_scheme_key,
+    parse_hybrid_key,
+    scheme_factory as _scheme_factory,  # noqa: F401 - re-exported name
 )
+from repro.compression.schemes import CompressedImage
 from repro.emulator import RunResult, emulate
 from repro.errors import ConfigurationError
 from repro.fetch.config import FetchConfig
 from repro.fetch.engine import FetchMetrics, ideal_metrics, simulate_fetch
 from repro.programs.suite import SUITE, compile_benchmark
-from repro.tailored.encoding import TailoredScheme
+from repro.runtime.tasks import fetch_image_key, normalize_fetch_scheme
 
 #: Scheme presentation order in reports (mirrors Figure 5's legend).
 SCHEME_ORDER = ("byte", "stream", "stream_1", "full", "tailored")
-
-
-def _scheme_factory(key: str) -> CompressionScheme:
-    if key == "base":
-        return BaselineScheme()
-    if key == "byte":
-        return ByteHuffmanScheme()
-    if key == "full":
-        return FullOpHuffmanScheme()
-    if key == "tailored":
-        return TailoredScheme()
-    if key == "dict":
-        from repro.compression.dictionary import DictionaryScheme
-
-        return DictionaryScheme()
-    for config in SIX_STREAM_CONFIGS:
-        if config.name == key:
-            return StreamHuffmanScheme(config)
-    raise ConfigurationError(f"unknown scheme {key!r}")
 
 
 @dataclass
@@ -144,15 +123,32 @@ class ProgramStudy:
 
     # ------------------------------------------------------ compression
     def compressed(self, scheme_key: str) -> CompressedImage:
-        """The program re-encoded under ``scheme_key`` (cached)."""
+        """The program re-encoded under ``scheme_key`` (cached).
+
+        Hybrid keys (``hybrid``, ``hybrid@T``) run the profile →
+        recompress stage: the scheme consumes this study's own fetch
+        trace as its heat profile.  The trace is a pure function of the
+        (benchmark, scale, source-fingerprint) triple the store digests
+        already key on, so the compressed artifact caches under the
+        normalized scheme key alone.
+        """
+        scheme_key = normalize_scheme_key(scheme_key)
         if scheme_key not in self._images:
-            _scheme_factory(scheme_key)  # validate the key before caching
+
+            def compute() -> CompressedImage:
+                scheme = _scheme_factory(scheme_key)
+                if parse_hybrid_key(scheme_key) is not None:
+                    from repro.compression.adaptive import heat_profile
+
+                    scheme.with_profile(
+                        heat_profile(
+                            self.run.block_trace, len(self.compiled.image)
+                        )
+                    )
+                return scheme.compress(self.compiled.image)
+
             self._images[scheme_key] = self._stage(
-                "compress",
-                lambda: _scheme_factory(scheme_key).compress(
-                    self.compiled.image
-                ),
-                scheme=scheme_key,
+                "compress", compute, scheme=scheme_key
             )
         return self._images[scheme_key]
 
@@ -186,15 +182,20 @@ class ProgramStudy:
         *,
         scaled: bool = True,
     ) -> FetchMetrics:
-        """Fetch simulation for ``base``/``tailored``/``compressed``/``ideal``.
+        """Fetch simulation for one organization.
 
-        The Compressed organization runs on the Full-op Huffman image —
-        the paper's choice for its cache study ("'Compressed' uses the
-        Full op compression scheme").  ``scaled`` (default) selects the
-        pressure-scaled cache pair that puts these miniature benchmarks
-        under the same cache pressure SPEC put on the paper's 16KB
-        caches; pass ``scaled=False`` for the paper's literal geometry.
+        Accepts ``base``/``tailored``/``compressed``/``ideal`` plus the
+        hybrid keys (``hybrid``, ``hybrid@T``), which replay their own
+        tagged image.  The Compressed organization runs on the Full-op
+        Huffman image — the paper's choice for its cache study
+        ("'Compressed' uses the Full op compression scheme").
+        ``scaled`` (default) selects the pressure-scaled cache pair that
+        puts these miniature benchmarks under the same cache pressure
+        SPEC put on the paper's 16KB caches; pass ``scaled=False`` for
+        the paper's literal geometry.
         """
+        if scheme != "ideal":
+            scheme = normalize_fetch_scheme(scheme)
         config_token = runtime.fetch_config_token(config)
         key = (scheme, scaled, config_token)
         if key in self._fetch:
@@ -204,18 +205,11 @@ class ProgramStudy:
             trace = self.run.block_trace
             if scheme == "ideal":
                 return ideal_metrics(self.compressed("base"), trace)
-            if scheme in ("base", "tailored", "compressed"):
-                image_key = {"base": "base", "tailored": "tailored",
-                             "compressed": "full"}[scheme]
-                return simulate_fetch(
-                    self.compressed(image_key),
-                    trace,
-                    config or FetchConfig.for_scheme(scheme, scaled=scaled),
-                )
-            raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
-
-        if scheme not in ("ideal", "base", "tailored", "compressed"):
-            raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+            return simulate_fetch(
+                self.compressed(fetch_image_key(scheme)),
+                trace,
+                config or FetchConfig.for_scheme(scheme, scaled=scaled),
+            )
         metrics = self._stage(
             "fetch",
             compute,

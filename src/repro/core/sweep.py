@@ -31,6 +31,11 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import runtime
+from repro.compression.registry import (
+    fetch_scheme_base,
+    hybrid_key,
+    parse_hybrid_key,
+)
 from repro.errors import ConfigurationError
 from repro.fetch.config import CacheGeometry, FetchConfig
 from repro.fetch.engine import FetchMetrics
@@ -40,8 +45,8 @@ from repro.fetch.sweep import (
     simulate_fetch_sweep_multi,
 )
 from repro.runtime.store import MISS, default_store
-from repro.runtime.tasks import FETCH_IMAGE_KEYS, TaskSpec, compile_id, \
-    compress_id, trace_id
+from repro.runtime.tasks import TaskSpec, compile_id, compress_id, \
+    fetch_image_key, normalize_fetch_scheme, trace_id
 
 __all__ = [
     "execute_sweep_chunk",
@@ -83,6 +88,7 @@ def expand_grid(
     gshare_bits: Sequence[int] = (10,),
     l0_capacities: Sequence[int] = (32,),
     bus_widths: Sequence[int] = (8,),
+    hotness_thresholds: Sequence[float] = (),
     scaled: bool = True,
 ) -> List[FetchConfig]:
     """Cross-product of the axes, as an ordered deduplicated config list.
@@ -93,13 +99,30 @@ def expand_grid(
     :class:`FetchConfig` default — an L0 sweep over the Base scheme or
     a gshare-width sweep under the block predictor would otherwise
     manufacture distinct-looking configs with identical behavior.
+
+    ``hotness_thresholds`` is the hybrid axis: each bare ``hybrid``
+    entry in ``schemes`` expands into one ``hybrid@T`` point per
+    threshold (explicit ``hybrid@T`` entries pass through unchanged).
+    Hybrid points share the Compressed defaults — same geometry, and
+    the L0 axis applies (their cold majority decompresses through the
+    buffer).
     """
+    expanded: List[str] = []
     for scheme in schemes:
-        if scheme not in _SWEEP_SCHEMES:
-            raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+        scheme = normalize_fetch_scheme(scheme)
+        if scheme == "ideal":
+            raise ConfigurationError(
+                "the ideal organization has no fetch config to sweep"
+            )
+        if scheme == "hybrid" and hotness_thresholds:
+            expanded.extend(
+                hybrid_key(float(t)) for t in hotness_thresholds
+            )
+        else:
+            expanded.append(scheme)
     configs: List[FetchConfig] = []
     seen = set()
-    for scheme in schemes:
+    for scheme in expanded:
         if caches is None:
             scheme_caches = [
                 FetchConfig.for_scheme(scheme, scaled=scaled).cache
@@ -119,7 +142,8 @@ def expand_grid(
                         )
                         l0_axis = (
                             l0_capacities
-                            if scheme == "compressed"
+                            if fetch_scheme_base(scheme)
+                            in ("compressed", "hybrid")
                             else (32,)
                         )
                         for bits in hist_axis:
@@ -195,7 +219,7 @@ def _compute_batch(
     """
     trace = study.run.block_trace
     images = {
-        scheme: study.compressed(FETCH_IMAGE_KEYS[scheme])
+        scheme: study.compressed(fetch_image_key(scheme))
         for scheme in {configs[i].scheme for i in indices}
     }
     batch = simulate_fetch_sweep_multi(
@@ -263,12 +287,18 @@ def _shard_pending(
     graph[tid] = TaskSpec(tid, "trace", benchmark, scale, deps=(cid,))
     chunk_size = max(1, ceil(len(pending) / max(1, jobs)))
     for scheme, members in by_scheme.items():
-        image_key = FETCH_IMAGE_KEYS[scheme]
+        image_key = fetch_image_key(scheme)
         sid = compress_id(benchmark, image_key, scale)
         if sid not in graph:
+            # Hybrid recompression reads the trace (its heat profile).
+            deps = (
+                (cid, tid)
+                if parse_hybrid_key(image_key) is not None
+                else (cid,)
+            )
             graph[sid] = TaskSpec(
                 sid, "compress", benchmark, scale,
-                scheme=image_key, deps=(cid,),
+                scheme=image_key, deps=deps,
             )
         for ordinal, start in enumerate(
             range(0, len(members), chunk_size)
@@ -305,11 +335,10 @@ def run_sweep(
     from repro.core.study import study_for
 
     for config in configs:
-        if config.scheme not in FETCH_IMAGE_KEYS or (
-            config.scheme == "ideal"
-        ):
+        scheme = normalize_fetch_scheme(config.scheme)
+        if scheme == "ideal":
             raise ConfigurationError(
-                f"unknown fetch scheme {config.scheme!r}"
+                "the ideal organization has no fetch config to sweep"
             )
 
     study = study_for(benchmark, scale)

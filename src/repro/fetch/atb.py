@@ -122,7 +122,13 @@ def att_entry_bits(
     )
     line_bits = _bits_for(max_lines)
     mop_bits = _bits_for(max(b.mop_count for b in image))
-    return addr_bits + line_bits + mop_bits + addr_bits  # +next address
+    # Per-block-adaptive images also name each block's decoder here —
+    # the ATT is the only per-block side table, so the scheme tag rides
+    # in the entry (zero for uniform images).
+    return (
+        addr_bits + line_bits + mop_bits + addr_bits  # +next address
+        + compressed.scheme_tag_bits
+    )
 
 
 def att_bytes(compressed: CompressedImage, geometry: CacheGeometry) -> int:

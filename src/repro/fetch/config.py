@@ -131,7 +131,7 @@ class PenaltyTable:
 class FetchConfig:
     """Everything one fetch simulation needs."""
 
-    scheme: str  # "base" | "tailored" | "compressed"
+    scheme: str  # "base" | "tailored" | "compressed" | "hybrid[@T]"
     cache: CacheGeometry
     atb_entries: int = 128
     atb_ways: int = 4
@@ -156,7 +156,13 @@ class FetchConfig:
 
         ``scaled`` selects the pressure-scaled cache pair (see
         :data:`BASE_CACHE_SCALED`) used by the Figure 13/14 studies.
+        Hybrid organizations (``hybrid``, ``hybrid@T``) run on the
+        compressed geometry — their cold majority fetches exactly like
+        the Compressed organization — and keep the full key in
+        ``scheme`` so per-threshold configs stay distinct.
         """
+        from repro.compression.registry import fetch_scheme_base
+
         table = {
             "base": BASE_CACHE_SCALED if scaled else BASE_CACHE,
             "tailored": (
@@ -165,8 +171,11 @@ class FetchConfig:
             "compressed": (
                 COMPRESSED_CACHE_SCALED if scaled else COMPRESSED_CACHE
             ),
+            "hybrid": (
+                COMPRESSED_CACHE_SCALED if scaled else COMPRESSED_CACHE
+            ),
         }
-        cache = table.get(scheme)
+        cache = table.get(fetch_scheme_base(scheme))
         if cache is None:
             raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
         return FetchConfig(scheme=scheme, cache=cache, **overrides)

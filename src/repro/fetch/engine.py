@@ -17,6 +17,7 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.compression.registry import fetch_scheme_base
 from repro.compression.schemes import CompressedImage
 from repro.errors import ConfigurationError
 from repro.fetch.atb import ATB, att_bytes
@@ -96,7 +97,7 @@ def _resolve_config(
     if config is not None:
         return config
     name = compressed.scheme_name
-    if name not in ("base", "tailored"):
+    if name not in ("base", "tailored") and not name.startswith("hybrid"):
         name = "compressed"
     return FetchConfig.for_scheme(name)
 
@@ -141,7 +142,8 @@ def simulate_fetch_reference(
     """
     config = _resolve_config(compressed, config)
     scheme = config.scheme
-    if scheme not in ("base", "tailored", "compressed"):
+    base_scheme = fetch_scheme_base(scheme)
+    if base_scheme not in ("base", "tailored", "compressed", "hybrid"):
         raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
 
     image = compressed.image
@@ -152,10 +154,27 @@ def simulate_fetch_reference(
     )
     payloads = compressed.block_payloads
 
+    # Per-block penalty family: uniform organizations charge their own
+    # scheme everywhere; the hybrid organization charges each block's
+    # ATT tag ("tailored" for hot blocks, "compressed" for cold).
+    if base_scheme == "hybrid":
+        block_schemes = compressed.block_scheme_tags()
+        if block_schemes is None:
+            raise ConfigurationError(
+                "hybrid fetch needs an image with per-block scheme tags"
+            )
+    else:
+        block_schemes = None
+
     atb = ATB(config.atb_entries, config.atb_ways)
     cache = BankedCache(config.cache)
+    # Only Huffman-decoded blocks go through the L0 decompression
+    # buffer: every block for Compressed, the cold blocks for hybrid
+    # (hot blocks decode in-line from the L1, like Tailored).
     buffer = (
-        L0Buffer(config.l0_capacity_ops) if scheme == "compressed" else None
+        L0Buffer(config.l0_capacity_ops)
+        if base_scheme in ("compressed", "hybrid")
+        else None
     )
     bus = BusModel(config.bus_bytes)
     penalties = config.penalties
@@ -181,6 +200,11 @@ def simulate_fetch_reference(
 
     for position, block_id in enumerate(trace):
         meta = metas[block_id]
+        block_scheme = (
+            block_schemes[block_id]
+            if block_schemes is not None
+            else base_scheme
+        )
         # Was this block the one fetch predicted?  (Cold start counts as
         # correct: there was no pipeline to flush.)
         pred_correct = (
@@ -192,7 +216,10 @@ def simulate_fetch_reference(
             metrics.cycles += config.atb_miss_penalty
 
         buffer_hit = False
-        if buffer is not None:
+        probed_buffer = (
+            buffer is not None and block_scheme == "compressed"
+        )
+        if probed_buffer:
             buffer_hit = buffer.access(block_id, meta.op_count)
 
         # (cache_hit, total_lines) is bound explicitly in each branch: a
@@ -209,10 +236,10 @@ def simulate_fetch_reference(
                 bus.transfer(payloads[block_id])
 
         n = total_lines if not cache_hit else (
-            total_lines if scheme == "compressed" else 1
+            total_lines if block_scheme == "compressed" else 1
         )
         metrics.cycles += penalties.initiation_cycles(
-            scheme,
+            block_scheme,
             pred_correct=pred_correct,
             cache_hit=cache_hit,
             buffer_hit=buffer_hit,
@@ -229,7 +256,7 @@ def simulate_fetch_reference(
         if buffer_hit:
             metrics.buffer_hits += 1
         else:
-            if buffer is not None:
+            if probed_buffer:
                 metrics.buffer_misses += 1
             if cache_hit:
                 metrics.cache_hits += 1

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.compression.registry import fetch_scheme_base
 from repro.compression.schemes import CompressedImage
 from repro.errors import ConfigurationError
 from repro.fetch.atb import att_bytes
@@ -158,8 +159,18 @@ def simulate_fetch_kernel(
     from repro.fetch.engine import FetchMetrics
 
     scheme = config.scheme
-    if scheme not in ("base", "tailored", "compressed"):
+    base_scheme = fetch_scheme_base(scheme)
+    if base_scheme not in ("base", "tailored", "compressed", "hybrid"):
         raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+    is_hybrid = base_scheme == "hybrid"
+    if is_hybrid:
+        block_tags = compressed.block_scheme_tags()
+        if block_tags is None:
+            raise ConfigurationError(
+                "hybrid fetch needs an image with per-block scheme tags"
+            )
+    else:
+        block_tags = None
 
     image = compressed.image
     nblocks = len(image)
@@ -220,11 +231,16 @@ def simulate_fetch_kernel(
         for single in span_single
     ]
 
-    is_compressed = scheme == "compressed"
+    # The L0 decompression buffer serves Huffman-decoded blocks only:
+    # every block under Compressed, the cold blocks under hybrid.
+    has_buffer = base_scheme in ("compressed", "hybrid")
+    l0_elig = (
+        [tag == "compressed" for tag in block_tags] if is_hybrid else None
+    )
     l0: dict[int, int] = {}
     l0_cap = config.l0_capacity_ops
     l0_used = 0
-    if is_compressed and l0_cap <= 0:
+    if has_buffer and l0_cap <= 0:
         raise ConfigurationError(
             f"L0 capacity must be positive, got {l0_cap}"
         )
@@ -242,16 +258,23 @@ def simulate_fetch_kernel(
     # (prediction, cache) outcomes, with the streaming tail (mop_count-1)
     # folded in.  The loop then adds a single precomputed integer.
     penalties = config.penalties
-    hit_pen_t = penalty_pair(penalties, scheme, True, True)
-    hit_pen_f = penalty_pair(penalties, scheme, False, True)
-    miss_pen_t = penalty_pair(penalties, scheme, True, False)
-    miss_pen_f = penalty_pair(penalties, scheme, False, False)
+    pen_rows = {
+        pen_scheme: (
+            penalty_pair(penalties, pen_scheme, True, True),
+            penalty_pair(penalties, pen_scheme, False, True),
+            penalty_pair(penalties, pen_scheme, True, False),
+            penalty_pair(penalties, pen_scheme, False, False),
+        )
+        for pen_scheme in (
+            ("tailored", "compressed") if is_hybrid else (base_scheme,)
+        )
+    }
     buf_hit_cycles = (
         penalties.initiation_cycles(
             "compressed", pred_correct=True, cache_hit=True,
             buffer_hit=True, n=1,
         )
-        if is_compressed
+        if has_buffer
         else 0
     )
     hit_cost_t = [0] * nblocks
@@ -260,6 +283,9 @@ def simulate_fetch_kernel(
     miss_cost_f = [0] * nblocks
     buf_cost = [0] * nblocks
     for bid in range(nblocks):
+        hit_pen_t, hit_pen_f, miss_pen_t, miss_pen_f = pen_rows[
+            block_tags[bid] if is_hybrid else base_scheme
+        ]
         extra = len(span_pairs[bid]) - 1
         tail = mop_counts[bid] - 1
         hit_cost_t[bid] = hit_pen_t[0] + hit_pen_t[1] * extra + tail
@@ -337,7 +363,7 @@ def simulate_fetch_kernel(
         # hit can never reuse line counts from an earlier iteration's
         # cache probe (regression-tested in test_fetch_engine.py).
         buffer_hit = False
-        if is_compressed:
+        if has_buffer and (l0_elig is None or l0_elig[block_id]):
             resident = l0.pop(block_id, None)
             if resident is not None:
                 l0[block_id] = resident  # move to MRU

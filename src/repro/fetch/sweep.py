@@ -44,8 +44,13 @@ so a whole grid shares one trace pass per independent component:
 :func:`simulate_fetch_sweep_multi` extends the sharing across schemes:
 the predictor machine never observes the compressed image (only the
 block metadata of the underlying program), so one grid that mixes
-``base``/``tailored``/``compressed`` points over the same program
-computes each distinct predictor component once, not once per scheme.
+``base``/``tailored``/``compressed``/``hybrid`` points over the same
+program computes each distinct predictor component once, not once per
+scheme.  Hybrid points charge each block at its ATT scheme tag
+("tailored" hot rows, "compressed" cold rows) and probe the L0 only for
+cold blocks; the constant-discount combine stays exact because the
+correct/incorrect discounts ``dh``/``dm`` are equal across the two tag
+families in the stock Table 1 (checked per call, not assumed).
 
 Every per-config result is **bit-identical** to a sequential
 :func:`~repro.fetch.engine.simulate_fetch` call — enforced by the
@@ -60,6 +65,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.compression.registry import fetch_scheme_base
 from repro.compression.schemes import CompressedImage
 from repro.errors import ConfigurationError
 from repro.fetch.atb import att_bytes
@@ -319,7 +325,8 @@ def _cache_component(
     trace: Sequence[int],
     span_pairs: Sequence[tuple],
     geometry: CacheGeometry,
-    is_compressed: bool,
+    has_buffer: bool,
+    l0_elig: Optional[Sequence[bool]],
     l0_cap: int,
     op_counts: Sequence[int],
     beats_by_block: Sequence[list],
@@ -333,7 +340,8 @@ def _cache_component(
     Charges every position at its pred-*incorrect* Table 1 cost (the
     combine step subtracts the constant correct-prediction discount per
     intersected position).  The loop body is the kernel's cache half,
-    verbatim.
+    verbatim.  ``l0_elig`` restricts L0 probes to tagged-cold blocks for
+    hybrid images (``None`` = every block probes, the Compressed rule).
     """
     cache_ways = geometry.ways
     cache_sets: List[Dict[int, bool]] = [
@@ -351,7 +359,7 @@ def _cache_component(
 
     l0: Dict[int, int] = {}
     l0_used = 0
-    if is_compressed and l0_cap <= 0:
+    if has_buffer and l0_cap <= 0:
         raise ConfigurationError(
             f"L0 capacity must be positive, got {l0_cap}"
         )
@@ -363,11 +371,11 @@ def _cache_component(
     bus_state = 0
     bus_beats = bus_bytes = bus_flips = 0
     miss_bits = bytearray(len(trace))
-    buf_bits = bytearray(len(trace)) if is_compressed else b""
+    buf_bits = bytearray(len(trace)) if has_buffer else b""
 
     for position, block_id in enumerate(trace):
         buffer_hit = False
-        if is_compressed:
+        if has_buffer and (l0_elig is None or l0_elig[block_id]):
             resident = l0.pop(block_id, None)
             if resident is not None:
                 l0[block_id] = resident
@@ -426,7 +434,7 @@ def _cache_component(
 
     out.miss_mask = int.from_bytes(bytes(miss_bits), "big")
     out.buf_mask = (
-        int.from_bytes(bytes(buf_bits), "big") if is_compressed else 0
+        int.from_bytes(bytes(buf_bits), "big") if has_buffer else 0
     )
     out.cycles_f = cycles_f
     out.cache_hits = cache_hits
@@ -482,9 +490,20 @@ def _sweep_engine(
 
     for index, config in enumerate(configs):
         scheme = config.scheme
-        if scheme not in ("base", "tailored", "compressed"):
+        base_scheme = fetch_scheme_base(scheme)
+        if base_scheme not in ("base", "tailored", "compressed", "hybrid"):
             raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
         compressed = image_for(scheme)
+        is_hybrid = base_scheme == "hybrid"
+        if is_hybrid:
+            block_tags = compressed.block_scheme_tags()
+            if block_tags is None:
+                raise ConfigurationError(
+                    "hybrid fetch needs an image with per-block scheme"
+                    " tags"
+                )
+        else:
+            block_tags = None
         if not sweep_supported(config):
             results[index] = simulate_fetch(compressed, trace, config)
             continue
@@ -518,27 +537,41 @@ def _sweep_engine(
         # class, but deriving from *this* config's table keeps the
         # engine honest).  Unequal correct/incorrect slopes would break
         # the constant-discount combine — fall back, don't approximate.
+        # Hybrid points charge two penalty families (one per block tag),
+        # so the single dh/dm discount must additionally agree *across*
+        # the families; the stock Table 1 satisfies both (dh=1, dm=7).
         penalties = config.penalties
-        hit_pen_t = penalty_pair(penalties, scheme, True, True)
-        hit_pen_f = penalty_pair(penalties, scheme, False, True)
-        miss_pen_t = penalty_pair(penalties, scheme, True, False)
-        miss_pen_f = penalty_pair(penalties, scheme, False, False)
-        if (
-            hit_pen_t[1] != hit_pen_f[1]
-            or miss_pen_t[1] != miss_pen_f[1]
-        ):
+        pen_families = (
+            ("tailored", "compressed") if is_hybrid else (base_scheme,)
+        )
+        pen_rows = {
+            family: (
+                penalty_pair(penalties, family, True, True),
+                penalty_pair(penalties, family, False, True),
+                penalty_pair(penalties, family, True, False),
+                penalty_pair(penalties, family, False, False),
+            )
+            for family in pen_families
+        }
+        slopes_equal = all(
+            rows[0][1] == rows[1][1] and rows[2][1] == rows[3][1]
+            for rows in pen_rows.values()
+        )
+        dh_set = {rows[1][0] - rows[0][0] for rows in pen_rows.values()}
+        dm_set = {rows[3][0] - rows[2][0] for rows in pen_rows.values()}
+        if not slopes_equal or len(dh_set) != 1 or len(dm_set) != 1:
             results[index] = simulate_fetch(compressed, trace, config)
             continue
-        dh = hit_pen_f[0] - hit_pen_t[0]
-        dm = miss_pen_f[0] - miss_pen_t[0]
+        dh = dh_set.pop()
+        dm = dm_set.pop()
 
-        is_compressed = scheme == "compressed"
+        has_buffer = base_scheme in ("compressed", "hybrid")
         buf_hit_cycles = (
             penalties.initiation_cycles(
                 "compressed", pred_correct=True, cache_hit=True,
                 buffer_hit=True, n=1,
             )
-            if is_compressed
+            if has_buffer
             else 0
         )
 
@@ -565,13 +598,17 @@ def _sweep_engine(
         pred_mask, pred_right, atb_hits, atb_misses = pred
 
         bus_width = config.bus_bytes
+        pen_sig = tuple(
+            (family, pen_rows[family][1], pen_rows[family][3])
+            for family in pen_families
+        )
         cache_key = (
             id(compressed),
             geo_key,
-            scheme,
-            config.l0_capacity_ops if is_compressed else None,
+            base_scheme,
+            config.l0_capacity_ops if has_buffer else None,
             bus_width,
-            hit_pen_f, miss_pen_f, buf_hit_cycles,
+            pen_sig, buf_hit_cycles,
         )
         comp = cache_comps.get(cache_key)
         if comp is None:
@@ -590,11 +627,15 @@ def _sweep_engine(
                 beats_memo[beats_key] = beats
             beats_by_block, payload_lens = beats
 
-            # Per-block pred-incorrect costs (streaming tail folded in).
+            # Per-block pred-incorrect costs (streaming tail folded
+            # in), each block charged at its own penalty family.
             hit_cost_f = [0] * nblocks
             miss_cost_f = [0] * nblocks
             buf_cost = [0] * nblocks
             for bid in range(nblocks):
+                _, hit_pen_f, _, miss_pen_f = pen_rows[
+                    block_tags[bid] if is_hybrid else base_scheme
+                ]
                 extra = len(span_pairs[bid]) - 1
                 tail = mop_counts[bid] - 1
                 hit_cost_f[bid] = (
@@ -605,9 +646,14 @@ def _sweep_engine(
                 )
                 buf_cost[bid] = buf_hit_cycles + tail
 
+            l0_elig = (
+                [tag == "compressed" for tag in block_tags]
+                if is_hybrid
+                else None
+            )
             comp = _cache_component(
                 compressed, trace, span_pairs, geometry,
-                is_compressed, config.l0_capacity_ops,
+                has_buffer, l0_elig, config.l0_capacity_ops,
                 op_counts, beats_by_block, payload_lens,
                 hit_cost_f, miss_cost_f, buf_cost,
             )
@@ -619,7 +665,7 @@ def _sweep_engine(
             joint = (
                 (pred_mask & comp.miss_mask).bit_count(),
                 (pred_mask & comp.buf_mask).bit_count()
-                if is_compressed
+                if has_buffer
                 else 0,
             )
             joint_memo[joint_key] = joint

@@ -22,18 +22,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.compression.registry import hybrid_key, parse_hybrid_key
 from repro.errors import ConfigurationError
 
 STAGES = ("compile", "trace", "compress", "fetch", "sweep")
 
 #: Which compressed image each fetch organization consumes
-#: ("'Compressed' uses the Full op compression scheme").
+#: ("'Compressed' uses the Full op compression scheme").  Hybrid fetch
+#: organizations (``hybrid``, ``hybrid@T``) are not listed: they replay
+#: their own tagged image, so their image key is the scheme key itself —
+#: resolve through :func:`fetch_image_key`.
 FETCH_IMAGE_KEYS = {
     "base": "base",
     "tailored": "tailored",
     "compressed": "full",
     "ideal": "base",
 }
+
+
+def normalize_fetch_scheme(scheme: str) -> str:
+    """Canonical key for a fetch organization; raises on unknown ones."""
+    if scheme in FETCH_IMAGE_KEYS:
+        return scheme
+    hotness = parse_hybrid_key(scheme)
+    if hotness is not None:
+        return hybrid_key(hotness)
+    raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+
+
+def fetch_image_key(scheme: str) -> str:
+    """Compression-image key one fetch organization replays against."""
+    scheme = normalize_fetch_scheme(scheme)
+    return FETCH_IMAGE_KEYS.get(scheme, scheme)
 
 
 @dataclass(frozen=True)
@@ -92,11 +112,9 @@ def build_study_graph(
     Independent (benchmark, scheme) nodes share no edges, so the
     scheduler is free to fan them out across processes.
     """
-    for fetch_scheme in fetch_schemes:
-        if fetch_scheme not in FETCH_IMAGE_KEYS:
-            raise ConfigurationError(
-                f"unknown fetch scheme {fetch_scheme!r}"
-            )
+    fetch_schemes = tuple(
+        normalize_fetch_scheme(scheme) for scheme in fetch_schemes
+    )
     graph: Dict[str, TaskSpec] = {}
     for name in benchmarks:
         cid = compile_id(name, scale)
@@ -105,16 +123,23 @@ def build_study_graph(
         graph[tid] = TaskSpec(tid, "trace", name, scale, deps=(cid,))
         wanted = dict.fromkeys(schemes)  # ordered, deduplicated
         for fetch_scheme in fetch_schemes:
-            wanted.setdefault(FETCH_IMAGE_KEYS[fetch_scheme])
+            wanted.setdefault(fetch_image_key(fetch_scheme))
         for scheme in wanted:
             sid = compress_id(name, scheme, scale)
+            # Hybrid recompression consumes the trace as its heat
+            # profile, so its compress node gains the trace edge.
+            deps = (
+                (cid, tid)
+                if parse_hybrid_key(scheme) is not None
+                else (cid,)
+            )
             graph[sid] = TaskSpec(
-                sid, "compress", name, scale, scheme=scheme, deps=(cid,)
+                sid, "compress", name, scale, scheme=scheme, deps=deps
             )
         for fetch_scheme in fetch_schemes:
             fid = fetch_id(name, fetch_scheme, scale)
             image_dep = compress_id(
-                name, FETCH_IMAGE_KEYS[fetch_scheme], scale
+                name, fetch_image_key(fetch_scheme), scale
             )
             graph[fid] = TaskSpec(
                 fid,

@@ -16,12 +16,18 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 import socket
 import time
 from typing import Optional
 
 from repro.errors import ProtocolError, RemoteError, ServeError, ServerBusy
 from repro.serve import protocol
+
+#: Floor on one busy-retry sleep (a server hint below this is noise).
+BUSY_BACKOFF_BASE = 0.05
+#: Ceiling on one busy-retry sleep, however many attempts have failed.
+BUSY_BACKOFF_CAP = 5.0
 
 _request_counter = itertools.count(1)
 
@@ -131,7 +137,21 @@ class ServeClient:
         *,
         retries: int = 0,
     ) -> dict:
-        """Like :meth:`request`, retrying ``busy`` up to ``retries`` times."""
+        """Like :meth:`request`, retrying ``busy`` up to ``retries`` times.
+
+        Each retry sleeps the server's ``retry_after`` hint doubled per
+        failed attempt (capped at :data:`BUSY_BACKOFF_CAP`) with
+        uniform jitter in [0.5, 1.0]× so a herd of clients released by
+        the same busy window doesn't re-arrive in lockstep.  The
+        client's overall ``timeout`` budgets the *whole* loop: a sleep
+        that would overrun it re-raises the last :class:`ServerBusy`
+        instead of sleeping past the point where the caller gave up.
+        """
+        deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else None
+        )
         attempt = 0
         while True:
             try:
@@ -139,8 +159,19 @@ class ServeClient:
             except ServerBusy as busy:
                 if attempt >= retries:
                     raise
+                delay = min(
+                    BUSY_BACKOFF_CAP,
+                    max(BUSY_BACKOFF_BASE, busy.retry_after)
+                    * (2 ** attempt),
+                )
+                delay *= 0.5 + 0.5 * random.random()
+                if (
+                    deadline is not None
+                    and time.monotonic() + delay > deadline
+                ):
+                    raise
                 attempt += 1
-                time.sleep(max(0.05, busy.retry_after))
+                time.sleep(delay)
 
     # ------------------------------------------------------ conveniences
     def ping(self, **params) -> dict:

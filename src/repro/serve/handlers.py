@@ -151,7 +151,10 @@ def study_payload(
 
 
 def _normalize_study(params: dict) -> dict:
-    from repro.core.study import _scheme_factory
+    from repro.compression.registry import (
+        UnknownSchemeError,
+        normalize_scheme_key,
+    )
     from repro.programs.suite import SUITE
 
     benchmark = _norm_benchmark(params)
@@ -165,17 +168,19 @@ def _normalize_study(params: dict) -> dict:
         and all(isinstance(s, str) for s in schemes),
         "schemes must be a list of scheme keys",
     )
+    # Same registry call the batch CLI uses, catching exactly the
+    # lookup failure: a genuine scheme bug must surface as an internal
+    # error at execute time, never hide behind "bad-params".
+    normalized = []
     for key in schemes:
         try:
-            _scheme_factory(key)
-        except Exception:
-            raise ProtocolError(
-                "bad-params", f"unknown scheme {key!r}"
-            ) from None
+            normalized.append(normalize_scheme_key(key))
+        except UnknownSchemeError as exc:
+            raise ProtocolError("bad-params", str(exc)) from None
     return {
         "benchmark": benchmark,
         "scale": scale,
-        "schemes": sorted(set(schemes)),
+        "schemes": sorted(set(normalized)),
     }
 
 
@@ -200,7 +205,8 @@ def _execute_study(ctx: ServerContext, params: dict) -> dict:
 #: Grid-axis keys :func:`repro.core.sweep.expand_grid` understands.
 _GRID_AXES = (
     "schemes", "caches", "atbs", "atb_miss_penalties", "predictors",
-    "gshare_bits", "l0_capacities", "bus_widths", "scaled",
+    "gshare_bits", "l0_capacities", "bus_widths",
+    "hotness_thresholds", "scaled",
 )
 
 

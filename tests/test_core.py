@@ -104,7 +104,7 @@ class TestFigureRows:
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
-            "fig5", "fig7", "fig10", "fig13", "fig14"
+            "fig5", "fig7", "fig10", "fig13", "fig14", "adaptive"
         }
         for experiment in EXPERIMENTS.values():
             assert experiment.bench.startswith("benchmarks/")

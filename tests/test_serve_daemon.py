@@ -320,3 +320,168 @@ def test_stale_socket_file_is_replaced(tmp_path):
     with running_server(tmp_path) as server:
         with ServeClient(server.socket_path) as client:
             assert client.ping()["pong"] is True
+
+
+# ------------------------------------------------------- busy backoff
+class _FakeTime:
+    """Deterministic monotonic clock; sleeping advances it."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class _FakeRandom:
+    def __init__(self, value):
+        self.value = value
+
+    def random(self):
+        return self.value
+
+
+class _BusyNTimes(ServeClient):
+    """A client whose wire layer reports busy ``n`` times, then ok."""
+
+    def __init__(self, n, retry_after=1.0, **kwargs):
+        super().__init__("unused.sock", **kwargs)
+        self.remaining = n
+        self.retry_after = retry_after
+        self.requests = 0
+
+    def request(self, kind, params=None):
+        self.requests += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise ServerBusy("busy", retry_after=self.retry_after)
+        return {"status": "ok", "result": {"kind": kind}}
+
+
+@pytest.fixture
+def fake_clock(monkeypatch):
+    from repro.serve import client as client_mod
+
+    clock = _FakeTime()
+    monkeypatch.setattr(client_mod, "time", clock)
+    monkeypatch.setattr(client_mod, "random", _FakeRandom(1.0))
+    return clock
+
+
+def test_call_backoff_doubles_then_caps(fake_clock):
+    # retry_after=1.0, full jitter factor: 1, 2, 4 then pinned at the
+    # 5.0 cap however many attempts keep failing.
+    client = _BusyNTimes(5, retry_after=1.0, timeout=None)
+    assert client.call("ping", retries=5)["status"] == "ok"
+    assert fake_clock.sleeps == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+
+def test_call_backoff_respects_server_hint_floor(fake_clock):
+    from repro.serve.client import BUSY_BACKOFF_BASE
+
+    # A zero/noise retry_after hint is lifted to the base delay.
+    client = _BusyNTimes(1, retry_after=0.0, timeout=None)
+    client.call("ping", retries=1)
+    assert fake_clock.sleeps == [BUSY_BACKOFF_BASE]
+
+
+def test_call_backoff_jitter_lower_bound(fake_clock, monkeypatch):
+    from repro.serve import client as client_mod
+
+    monkeypatch.setattr(client_mod, "random", _FakeRandom(0.0))
+    client = _BusyNTimes(2, retry_after=1.0, timeout=None)
+    client.call("ping", retries=2)
+    # Jitter scales each sleep into [0.5, 1.0]x; at the low edge the
+    # exponential shape must survive.
+    assert fake_clock.sleeps == [0.5, 1.0]
+
+
+def test_call_reraises_when_retries_exhausted(fake_clock):
+    client = _BusyNTimes(10, retry_after=1.0, timeout=None)
+    with pytest.raises(ServerBusy):
+        client.call("ping", retries=2)
+    assert len(fake_clock.sleeps) == 2
+    assert client.requests == 3
+
+
+def test_call_backoff_respects_overall_timeout(fake_clock):
+    # timeout=3s budgets the whole retry loop: the first 2s sleep fits,
+    # the next (4s) would overrun, so the busy error surfaces instead
+    # of sleeping past the caller's deadline.
+    client = _BusyNTimes(10, retry_after=2.0, timeout=3.0)
+    with pytest.raises(ServerBusy):
+        client.call("ping", retries=10)
+    assert fake_clock.sleeps == [2.0]
+    assert client.requests == 2
+
+
+# ------------------------------------------- scheme-key normalization
+def test_study_rejects_unknown_scheme_as_bad_params():
+    from repro.errors import ProtocolError
+
+    normalize = HANDLERS["study"].normalize
+    with pytest.raises(ProtocolError) as excinfo:
+        normalize({"benchmark": "compress", "schemes": ["zstd"]})
+    assert excinfo.value.code == "bad-params"
+    with pytest.raises(ProtocolError):
+        normalize({"benchmark": "compress", "schemes": ["hybrid@1.5"]})
+
+
+def test_study_normalize_folds_hybrid_aliases():
+    normalized = HANDLERS["study"].normalize(
+        {
+            "benchmark": "compress",
+            "schemes": ["hybrid@0.3", "hybrid", "full"],
+        }
+    )
+    assert normalized["schemes"] == ["full", "hybrid"]
+
+
+def test_study_normalize_does_not_swallow_real_failures(monkeypatch):
+    # The old code validated keys by calling the scheme factory under a
+    # bare ``except Exception`` — a genuinely broken factory then
+    # masqueraded as the client's fault.  Key validation must not touch
+    # the factory at all: a crash there surfaces at execute time as an
+    # internal error, never as bad-params.
+    from repro.compression import registry
+
+    def boom(key):
+        raise RuntimeError("factory exploded")
+
+    monkeypatch.setattr(registry, "scheme_factory", boom)
+    normalized = HANDLERS["study"].normalize(
+        {"benchmark": "compress", "schemes": ["full", "hybrid@0.6"]}
+    )
+    assert normalized["schemes"] == ["full", "hybrid@0.6"]
+
+
+def test_sweep_grid_hotness_axis_normalizes():
+    normalized = HANDLERS["sweep"].normalize(
+        {
+            "benchmark": "compress",
+            "grid": {
+                "schemes": ["hybrid"],
+                "hotness_thresholds": [0.25, 0.6],
+            },
+        }
+    )
+    schemes = {c["scheme"] for c in normalized["configs"]}
+    assert schemes == {"hybrid@0.25", "hybrid@0.6"}
+
+
+def test_sweep_grid_rejects_bad_hybrid_key():
+    from repro.errors import ProtocolError
+
+    with pytest.raises(ProtocolError) as excinfo:
+        HANDLERS["sweep"].normalize(
+            {
+                "benchmark": "compress",
+                "grid": {"schemes": ["hybrid@2.0"]},
+            }
+        )
+    assert excinfo.value.code == "bad-params"
