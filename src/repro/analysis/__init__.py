@@ -14,7 +14,14 @@ makes that trust checkable without executing anything:
   over :class:`CompressedImage`\\ s, producing structured
   :class:`Diagnostic`\\ s (``repro analyze`` on the CLI, the
   ``analysis`` scope under ``repro check --full``, and the opt-in
-  ``REPRO_ANALYZE`` post-compile gate).
+  ``REPRO_ANALYZE`` post-compile gate);
+* :mod:`repro.analysis.loops` / :mod:`repro.analysis.freq` — predictive
+  analyses: dominator-based loop nests and a Ball–Larus-style static
+  heat profile (the ``hybrid@T:static`` profile provider);
+* :mod:`repro.analysis.cachebound` — must/may abstract interpretation
+  of the I-cache and ATB yielding sound fetch-cycle bounds
+  (``repro analyze --bounds``, checked against the simulator by the
+  ``static`` scope of ``repro check``).
 """
 
 from repro.analysis.dataflow import (
@@ -40,10 +47,32 @@ from repro.analysis.hazards import (
     has_hazard,
     needs_buffered_execution,
 )
+from repro.analysis.cachebound import (
+    BoundsReport,
+    Classification,
+    FetchClassification,
+    classify_fetch,
+    cycle_bounds,
+)
+from repro.analysis.freq import (
+    block_frequencies,
+    branch_probabilities,
+    static_heat_profile,
+)
 from repro.analysis.imagecfg import (
     block_successors,
     function_entries,
     image_cfg,
+    interprocedural_cfg,
+    return_continuations,
+)
+from repro.analysis.loops import (
+    Loop,
+    back_edges,
+    irreducible_edges,
+    loop_depths,
+    loops,
+    natural_loop,
 )
 from repro.analysis.verifier import (
     DEFAULT_SCHEMES,
@@ -64,11 +93,15 @@ from repro.analysis.verifier import (
 
 __all__ = [
     "AnalysisReport",
+    "BoundsReport",
+    "Classification",
     "DEFAULT_SCHEMES",
     "DataflowResult",
     "Diagnostic",
+    "FetchClassification",
     "Hazard",
     "INJECT_TAGS",
+    "Loop",
     "RULES",
     "Rule",
     "RuleContext",
@@ -78,10 +111,15 @@ __all__ = [
     "analyze_image",
     "analyze_program",
     "analyze_suite",
+    "back_edges",
+    "block_frequencies",
     "block_successors",
+    "branch_probabilities",
+    "classify_fetch",
     "classify_hazards",
     "control_transfer_count",
     "corrupt_branch_target",
+    "cycle_bounds",
     "definitely_assigned",
     "dominators",
     "enforce_image",
@@ -89,12 +127,19 @@ __all__ = [
     "gate_enabled",
     "has_hazard",
     "image_cfg",
+    "interprocedural_cfg",
+    "irreducible_edges",
     "live_variables",
+    "loop_depths",
+    "loops",
+    "natural_loop",
     "needs_buffered_execution",
     "predecessors",
     "reachable",
     "reaching_definitions",
+    "return_continuations",
     "rule",
     "solve",
     "sorted_diagnostics",
+    "static_heat_profile",
 ]

@@ -208,19 +208,31 @@ class AnalysisReport:
 
 
 def _sort_key(diag: Diagnostic):
+    # A *total* order: two distinct diagnostics never compare equal, so
+    # merged reports (e.g. ``analyze --json`` across ``--jobs`` values)
+    # serialize identically regardless of arrival order.
     return (
         -diag.severity.rank,
         diag.program,
         diag.rule,
         diag.block_id if diag.block_id is not None else -1,
         diag.op_index if diag.op_index is not None else -1,
+        diag.scheme or "",
+        diag.block or "",
+        diag.message,
+        diag.hint or "",
     )
 
 
 def sorted_diagnostics(
     diagnostics: Sequence[Diagnostic],
 ) -> List[Diagnostic]:
-    """Most severe first, then by location — the presentation order."""
+    """Most severe first, then by location — the presentation order.
+
+    The key is total (down to message and hint text), so the emitted
+    order — and therefore CI JSON diffs — is stable across parallelism
+    and dict-iteration differences.
+    """
     return sorted(diagnostics, key=_sort_key)
 
 

@@ -51,6 +51,57 @@ def image_cfg(image: ProgramImage) -> Dict[int, List[int]]:
     }
 
 
+def return_continuations(image: ProgramImage) -> Dict[int, List[int]]:
+    """``{ret_block_id: [continuation block ids]}`` for every RET block.
+
+    A RET in function ``f`` may resume at the fallthrough continuation
+    of *any* call site whose target lies in ``f`` — the static
+    over-approximation of the return stack.  Used to close the image CFG
+    over procedure boundaries: a graph missing these edges under-counts
+    paths, which would make must/may cache facts unsound.
+    """
+    n = len(image)
+    # Function owning each possible callee-entry block.
+    owner = {block.block_id: block.function for block in image}
+    # function name -> continuation blocks of calls into it.
+    continuations: Dict[str, List[int]] = {}
+    for block in image:
+        for op in block.ops:
+            if op.opcode is not Opcode.CALL or op.target_block is None:
+                continue
+            target = op.target_block
+            ft = block.fallthrough
+            if not (0 <= target < n) or ft is None or not (0 <= ft < n):
+                continue
+            conts = continuations.setdefault(owner[target], [])
+            if ft not in conts:
+                conts.append(ft)
+    result: Dict[int, List[int]] = {}
+    for block in image:
+        if any(op.opcode is Opcode.RET for op in block.ops):
+            result[block.block_id] = list(
+                continuations.get(block.function, ())
+            )
+    return result
+
+
+def interprocedural_cfg(image: ProgramImage) -> Dict[int, List[int]]:
+    """:func:`image_cfg` closed with RET-continuation edges.
+
+    Every dynamically feasible block transition is an edge of this
+    graph (machine-checked by the ``static-trace-edges`` invariant), so
+    forward dataflow over it is sound for the static frequency and
+    cache-bound analyses.
+    """
+    cfg = image_cfg(image)
+    for ret_block, conts in return_continuations(image).items():
+        succs = cfg[ret_block]
+        for cont in conts:
+            if cont not in succs:
+                succs.append(cont)
+    return cfg
+
+
 def function_entries(image: ProgramImage) -> Dict[str, int]:
     """First (entry) block id of each function, in layout order."""
     entries: Dict[str, int] = {}
@@ -60,4 +111,10 @@ def function_entries(image: ProgramImage) -> Dict[str, int]:
     return entries
 
 
-__all__ = ["block_successors", "function_entries", "image_cfg"]
+__all__ = [
+    "block_successors",
+    "function_entries",
+    "image_cfg",
+    "interprocedural_cfg",
+    "return_continuations",
+]

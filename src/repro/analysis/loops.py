@@ -1,0 +1,155 @@
+"""Dominator-based loop-nest detection over an image CFG.
+
+Feeds the static frequency estimator (:mod:`repro.analysis.freq`): a
+back edge is an edge whose target dominates its source, its natural
+loop is the set of blocks that can reach the edge's tail without
+passing through the header, and a block's loop depth is the number of
+natural-loop bodies containing it.  Edges that retreat in a DFS without
+being dominator back edges mark *irreducible* regions — the estimator
+still terminates there (damped, capped iteration), but the
+``loop-structure`` analyzer rule surfaces them because the nesting
+depths around such regions are heuristic rather than structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.dataflow import dominators, predecessors, reachable
+
+Cfg = Dict[int, Sequence[int]]
+Edge = Tuple[int, int]
+
+
+def back_edges(cfg: Cfg, entry: int) -> List[Edge]:
+    """Edges ``u -> v`` where ``v`` dominates ``u`` (loop back edges).
+
+    Only edges between reachable blocks qualify; the result is sorted
+    for determinism.
+    """
+    doms = dominators(cfg, entry)
+    edges: List[Edge] = []
+    for u, succs in cfg.items():
+        if u not in doms:
+            continue
+        for v in succs:
+            if v in doms.get(u, frozenset()):
+                edges.append((u, v))
+    edges.sort()
+    return edges
+
+
+def natural_loop(
+    cfg: Cfg, tail: int, header: int, *, entry: Optional[int] = None
+) -> FrozenSet[int]:
+    """Body of the natural loop of back edge ``tail -> header``.
+
+    The header plus every block that reaches ``tail`` without passing
+    through the header (standard backward walk over predecessors).
+    When ``entry`` is given, the walk stays inside the reachable
+    subgraph — an unreachable block with an edge into the loop must
+    not join the body (no execution ever runs it).
+    """
+    preds = predecessors(cfg)
+    live = reachable(cfg, entry) if entry is not None else None
+    body = {header, tail}
+    stack = [tail] if tail != header else []
+    while stack:
+        block = stack.pop()
+        for pred in preds.get(block, ()):
+            if pred in body:
+                continue
+            if live is not None and pred not in live:
+                continue
+            body.add(pred)
+            stack.append(pred)
+    return frozenset(body)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: its header and its body (header included)."""
+
+    header: int
+    body: FrozenSet[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+def loops(cfg: Cfg, entry: int) -> List[Loop]:
+    """All natural loops, one per header (shared-header bodies merge).
+
+    Back edges with the same header describe one loop with multiple
+    latches; their bodies union, matching the usual loop-nest
+    convention.  Sorted by header id.
+    """
+    bodies: Dict[int, set] = {}
+    for tail, header in back_edges(cfg, entry):
+        bodies.setdefault(header, set()).update(
+            natural_loop(cfg, tail, header, entry=entry)
+        )
+    return [
+        Loop(header=header, body=frozenset(body))
+        for header, body in sorted(bodies.items())
+    ]
+
+
+def loop_depths(cfg: Cfg, entry: int) -> Dict[int, int]:
+    """``{block_id: number of natural-loop bodies containing it}``.
+
+    Covers every reachable block; blocks outside all loops get 0.
+    """
+    depths = {block: 0 for block in reachable(cfg, entry)}
+    for loop in loops(cfg, entry):
+        for block in loop.body:
+            if block in depths:
+                depths[block] += 1
+    return depths
+
+
+def irreducible_edges(cfg: Cfg, entry: int) -> List[Edge]:
+    """DFS retreating edges that are *not* dominator back edges.
+
+    A non-empty result means some cycle has multiple entries
+    (irreducible control flow): its blocks still appear in the
+    frequency fixpoint, but loop-nest depths around it are heuristic.
+    Deterministic: DFS visits successors in their stored order.
+    """
+    dom_backs = set(back_edges(cfg, entry))
+    retreating: List[Edge] = []
+    # Iterative DFS with colors: 0 unvisited, 1 on stack, 2 done.
+    color = {block: 0 for block in cfg}
+    if entry not in color:
+        return []
+    stack: List[Tuple[int, int]] = [(entry, 0)]
+    color[entry] = 1
+    while stack:
+        node, index = stack[-1]
+        succs = cfg.get(node, ())
+        if index < len(succs):
+            stack[-1] = (node, index + 1)
+            succ = succs[index]
+            state = color.get(succ)
+            if state == 0:
+                color[succ] = 1
+                stack.append((succ, 0))
+            elif state == 1 and (node, succ) not in dom_backs:
+                retreating.append((node, succ))
+        else:
+            color[node] = 2
+            stack.pop()
+    retreating.sort()
+    return retreating
+
+
+__all__ = [
+    "Loop",
+    "back_edges",
+    "irreducible_edges",
+    "loop_depths",
+    "loops",
+    "natural_loop",
+]

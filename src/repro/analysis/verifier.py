@@ -50,10 +50,12 @@ from repro.isa.image import BasicBlockImage, ProgramImage
 KINDS = ("machine", "encoding")
 
 #: Schemes :func:`analyze_program` verifies by default: the baseline
-#: identity encoding, the three headline compressors, and the adaptive
-#: pair (context-modeled and per-block hybrid).
+#: identity encoding, the three headline compressors, the adaptive
+#: pair (context-modeled and per-block hybrid), and the profile-free
+#: static hybrid.
 DEFAULT_SCHEMES = (
-    "base", "byte", "full", "tailored", "context", "hybrid"
+    "base", "byte", "full", "tailored", "context", "hybrid",
+    "hybrid:static",
 )
 
 #: Recognized ``repro analyze --inject`` tags.
@@ -420,6 +422,7 @@ def enforce_image(
 # Rule modules populate the registry on import (mirrors repro.check).
 from repro.analysis import rules as _rules  # noqa: E402,F401
 from repro.analysis import encoding as _encoding  # noqa: E402,F401
+from repro.analysis import staticrules as _staticrules  # noqa: E402,F401
 
 __all__ = [
     "DEFAULT_SCHEMES",

@@ -126,7 +126,7 @@ def _fetch_setup(scheme: str, quick: bool) -> Dict[str, Any]:
     study = study_for(_MACRO_BENCH, _MACRO_SCALE)
     image_key = {
         "base": "base", "tailored": "tailored", "compressed": "full",
-        "hybrid": "hybrid",
+        "hybrid": "hybrid", "hybrid:static": "hybrid:static",
     }[scheme]
     repeat = 3 if quick else 20
     return {
@@ -433,7 +433,7 @@ def _fetch_benchmark(scheme: str) -> Benchmark:
     from repro.fetch.kernel import simulate_fetch_kernel
 
     return Benchmark(
-        name=f"fetch_replay_{scheme}",
+        name=f"fetch_replay_{scheme.replace(':', '_')}",
         kind="macro",
         description=(
             f"replay the {_MACRO_BENCH} trace through the {scheme} "
@@ -491,6 +491,7 @@ def _build_benchmarks() -> tuple:
         _fetch_benchmark("tailored"),
         _fetch_benchmark("compressed"),
         _fetch_benchmark("hybrid"),
+        _fetch_benchmark("hybrid:static"),
         Benchmark(
             name="sweep_grid",
             kind="macro",

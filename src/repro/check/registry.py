@@ -42,6 +42,7 @@ SCOPES = (
     "structure",
     "store",
     "analysis",
+    "static",
     "serve",
 )
 

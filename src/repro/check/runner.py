@@ -10,6 +10,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.check import invariants as _invariants  # noqa: F401  (registers)
 from repro.check import faults as _faults  # noqa: F401
 from repro.check import serve_faults as _serve_faults  # noqa: F401
+from repro.check import staticchecks as _staticchecks  # noqa: F401
 from repro.check.registry import (
     CheckContext,
     Invariant,

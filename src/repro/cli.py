@@ -96,6 +96,14 @@ def _validate_invocation(args) -> None:
         raise ConfigurationError(
             f"--retries must be non-negative, got {retries}"
         )
+    hotness = getattr(args, "hotness_thresholds", None)
+    for value in hotness or ():
+        # (0, 1]: a zero threshold selects an empty hot set, which the
+        # hybrid scheme would only reject deep inside a sweep worker.
+        if not 0.0 < value <= 1.0:
+            raise ConfigurationError(
+                f"--hotness must lie in (0, 1], got {value:g}"
+            )
     problems = environment_problems()
     kernel_problem = kernel_env_problem()
     if kernel_problem:
@@ -413,6 +421,15 @@ def _cmd_analyze(args) -> int:
     from repro.errors import AnalysisError, ServeError
 
     _apply_runtime_flags(args)
+    if args.bounds:
+        if args.via_server or args.inject:
+            print(
+                "analysis error: --bounds is a local analysis and "
+                "cannot be combined with --via-server or --inject",
+                file=sys.stderr,
+            )
+            return 2
+        return _analyze_bounds(args)
     if args.via_server:
         if args.inject:
             print(
@@ -476,6 +493,101 @@ def _cmd_analyze(args) -> int:
         print(
             f"{len(findings)} finding(s) at or above "
             f"severity {fail_on.value}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+#: Fetch organizations ``analyze --bounds`` brackets (the sweepable
+#: families plus both hybrid profile sources).
+_BOUNDS_SCHEMES = (
+    "base", "tailored", "compressed", "hybrid", "hybrid:static"
+)
+
+
+def _analyze_bounds(args) -> int:
+    """Static cycle bounds vs the simulator, per benchmark × scheme.
+
+    Exits 1 when any bracket fails — the same gate CI's analyze-smoke
+    job runs over all eight benchmarks.
+    """
+    from repro.analysis.cachebound import cycle_bounds
+    from repro.compression.adaptive import heat_profile
+    from repro.errors import AnalysisError, ConfigurationError
+    from repro.fetch.config import FetchConfig
+    from repro.runtime.tasks import fetch_image_key
+    from repro.utils.tables import format_table
+
+    names = tuple(args.programs or BENCHMARK_NAMES)
+    unknown = [n for n in names if n not in BENCHMARK_NAMES]
+    if unknown:
+        print(
+            f"analysis error: unknown benchmark(s): {', '.join(unknown)} "
+            f"(known: {', '.join(BENCHMARK_NAMES)})",
+            file=sys.stderr,
+        )
+        return 2
+    progress = (
+        None
+        if args.json
+        else lambda name: print(f"bounds {name} ...", file=sys.stderr)
+    )
+    rows = []
+    records = []
+    failures = 0
+    try:
+        for name in names:
+            if progress is not None:
+                progress(name)
+            study = study_for(name, args.scale)
+            counts = heat_profile(
+                study.run.block_trace, len(study.compiled.image)
+            )
+            for scheme in _BOUNDS_SCHEMES:
+                compressed = study.compressed(fetch_image_key(scheme))
+                metrics = study.fetch_metrics(scheme)
+                report = cycle_bounds(
+                    compressed, counts, FetchConfig.for_scheme(scheme)
+                )
+                ok = report.bracket(metrics.cycles)
+                if not ok:
+                    failures += 1
+                cls = report.classification.cache
+                rows.append([
+                    name,
+                    scheme,
+                    report.lower,
+                    metrics.cycles,
+                    report.upper,
+                    len(cls.always_hit),
+                    len(cls.always_miss),
+                    len(cls.unclassified),
+                    "ok" if ok else "VIOLATED",
+                ])
+                record = report.to_json()
+                record["benchmark"] = name
+                record["simulated_cycles"] = metrics.cycles
+                record["bracketed"] = ok
+                records.append(record)
+    except (AnalysisError, ConfigurationError) as exc:
+        print(f"analysis error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json({"bounds": records, "ok": failures == 0})
+    else:
+        print(format_table(
+            (
+                "benchmark", "scheme", "lower", "simulated", "upper",
+                "AH", "AM", "NC", "bracket",
+            ),
+            rows,
+            title="Static fetch-cycle bounds vs simulator",
+        ))
+    if failures:
+        print(
+            f"{failures} bound violation(s): static analysis failed to "
+            "bracket the simulator",
             file=sys.stderr,
         )
         return 1
@@ -618,6 +730,10 @@ def _sweep_grid(args):
         kwargs["bus_widths"] = args.bus
     if args.hotness_thresholds:
         kwargs["hotness_thresholds"] = args.hotness_thresholds
+    if args.hotness_sources:
+        kwargs["hotness_sources"] = tuple(
+            dict.fromkeys(args.hotness_sources)
+        )
     return expand_grid(
         tuple(args.schemes or ("base", "tailored", "compressed")),
         **kwargs,
@@ -861,7 +977,10 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list the experiments")
 
     run = sub.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", help="fig5|fig7|fig10|fig13|fig14")
+    run.add_argument(
+        "experiment",
+        help="fig5|fig7|fig10|fig13|fig14|adaptive|static (see repro list)",
+    )
     run.add_argument("--benchmarks", nargs="*", default=None)
     run.add_argument("--scale", type=int, default=None)
     run.add_argument(
@@ -994,6 +1113,11 @@ def main(argv: list[str] | None = None) -> int:
              "instead (CI proves the verifier exits non-zero)",
     )
     analyze.add_argument(
+        "--bounds", action="store_true",
+        help="report static fetch-cycle bounds per scheme and check "
+             "lower <= simulated <= upper (exit 1 on a violation)",
+    )
+    analyze.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent artifact cache",
     )
@@ -1034,15 +1158,22 @@ def main(argv: list[str] | None = None) -> int:
         "--scheme", dest="schemes", action="append", default=None,
         metavar="KEY",
         help="fetch organization axis: base|tailored|compressed|"
-             "hybrid[@T] (repeatable; default: base tailored "
+             "hybrid[@T][:static] (repeatable; default: base tailored "
              "compressed)",
     )
     sweep.add_argument(
         "--hotness", dest="hotness_thresholds", action="append",
         type=float, default=None, metavar="T",
-        help="hybrid hotness-threshold axis in [0,1]; each bare "
+        help="hybrid hotness-threshold axis in (0,1]; each bare "
              "'hybrid' scheme entry expands into one hybrid@T point "
              "per value (repeatable)",
+    )
+    sweep.add_argument(
+        "--hotness-source", dest="hotness_sources", action="append",
+        default=None, choices=("trace", "static"),
+        help="hybrid heat-profile provider axis: the emulator trace "
+             "and/or the compile-time static estimate (repeatable; "
+             "default: trace)",
     )
     sweep.add_argument(
         "--cache", dest="caches", action="append", default=None,

@@ -145,21 +145,27 @@ class HybridImage(CompressedImage):
 class HybridScheme(CompressionScheme):
     """Hot blocks tailored, cold blocks full-op Huffman, per a profile.
 
-    The scheme is constructed from a hotness threshold alone (so scheme
-    *keys* stay pure); the trace-derived heat profile is attached with
-    :meth:`with_profile` before :meth:`compress` —
+    The scheme is constructed from a hotness threshold and a profile
+    source alone (so scheme *keys* stay pure); the heat profile itself
+    is attached with :meth:`with_profile` before :meth:`compress` —
     ``ProgramStudy.compressed("hybrid")`` does this from the study's own
-    fetch trace.
+    fetch trace, ``compressed("hybrid:static")`` from the compile-time
+    estimate of :func:`repro.analysis.freq.static_heat_profile`.  The
+    scheme itself is agnostic to where the counts came from; ``source``
+    only selects the provider and keeps the key/name canonical.
     """
 
     def __init__(
         self,
         hotness: float = HYBRID_DEFAULT_HOTNESS,
         max_code_length: Optional[int] = DEFAULT_MAX_CODE_LENGTH,
+        *,
+        source: str = "trace",
     ) -> None:
         super().__init__(max_code_length)
         self.hotness = float(hotness)
-        self.name = hybrid_key(self.hotness)
+        self.source = source
+        self.name = hybrid_key(self.hotness, source)
         self._profile: Optional[tuple[int, ...]] = None
 
     def with_profile(self, profile: Sequence[int]) -> "HybridScheme":

@@ -10,7 +10,10 @@ everywhere.  Keys come in two shapes:
   ``context``, the six stream-configuration names;
 * parameterized hybrid keys: ``hybrid`` (the documented default hotness
   threshold) or ``hybrid@T`` with ``T`` in [0, 1] — the fraction of
-  dynamic block fetches the hot (tailored-encoded) set must cover.
+  dynamic block fetches the hot (tailored-encoded) set must cover.  A
+  ``:static`` suffix (``hybrid:static``, ``hybrid@T:static``) selects
+  the compile-time heat estimator from :mod:`repro.analysis.freq`
+  instead of the emulator trace, so compression needs zero trace runs.
 
 Unknown or malformed keys raise :class:`UnknownSchemeError`, a
 :class:`~repro.errors.ConfigurationError` subclass, so callers that
@@ -40,6 +43,14 @@ HYBRID_DEFAULT_HOTNESS = 0.3
 
 _HYBRID_PREFIX = "hybrid@"
 
+#: Profile-source suffix: ``hybrid[:@T]:static`` compresses from the
+#: compile-time heat estimate instead of the emulator trace.
+_STATIC_SUFFIX = ":static"
+
+#: Recognized hybrid profile sources (``trace`` is the unsuffixed
+#: default and never appears in a canonical key).
+HYBRID_PROFILE_SOURCES = ("trace", "static")
+
 #: Plain (non-parameterized) scheme keys, in presentation order.
 _SIMPLE_KEYS = ("base", "byte", "full", "tailored", "dict", "context")
 
@@ -62,12 +73,20 @@ def known_scheme_keys() -> tuple:
 def parse_hybrid_key(key: str) -> Optional[float]:
     """The hotness threshold of a hybrid key, or ``None`` for other keys.
 
-    Raises :class:`UnknownSchemeError` for a malformed ``hybrid@...``
-    suffix — a key that *claims* to be hybrid must parse.
+    Accepts the ``:static`` suffix — the threshold means the same thing
+    under either profile source.  Raises :class:`UnknownSchemeError` for
+    a malformed ``hybrid@...`` suffix — a key that *claims* to be hybrid
+    must parse.
     """
+    if not isinstance(key, str):
+        return None
+    if key.endswith(_STATIC_SUFFIX):
+        stem = key[: -len(_STATIC_SUFFIX)]
+        if stem == "hybrid" or stem.startswith(_HYBRID_PREFIX):
+            key = stem
     if key == "hybrid":
         return HYBRID_DEFAULT_HOTNESS
-    if not isinstance(key, str) or not key.startswith(_HYBRID_PREFIX):
+    if not key.startswith(_HYBRID_PREFIX):
         return None
     text = key[len(_HYBRID_PREFIX):]
     try:
@@ -83,17 +102,40 @@ def parse_hybrid_key(key: str) -> Optional[float]:
     return hotness
 
 
-def hybrid_key(hotness: float) -> str:
-    """Canonical key for one hotness threshold (default folds to
-    ``hybrid`` so equivalent requests share one store digest)."""
+def hybrid_profile_source(key: str) -> Optional[str]:
+    """``"trace"``/``"static"`` for a hybrid key, ``None`` otherwise.
+
+    The source says where the heat profile feeding hot-set selection
+    comes from: the emulator's block trace (default) or the static
+    frequency estimate of :func:`repro.analysis.freq.static_heat_profile`.
+    """
+    if parse_hybrid_key(key) is None:
+        return None
+    return "static" if key.endswith(_STATIC_SUFFIX) else "trace"
+
+
+def hybrid_key(hotness: float, source: str = "trace") -> str:
+    """Canonical key for one (hotness, profile source) pair (default
+    hotness folds to ``hybrid`` so equivalent requests share one store
+    digest)."""
     hotness = float(hotness)
     if not 0.0 <= hotness <= 1.0:
         raise UnknownSchemeError(
             f"hybrid hotness threshold must be in [0, 1], got {hotness}"
         )
-    if hotness == HYBRID_DEFAULT_HOTNESS:
-        return "hybrid"
-    return f"hybrid@{hotness:g}"
+    if source not in HYBRID_PROFILE_SOURCES:
+        raise UnknownSchemeError(
+            f"unknown hybrid profile source {source!r} "
+            f"(expected one of {HYBRID_PROFILE_SOURCES})"
+        )
+    key = (
+        "hybrid"
+        if hotness == HYBRID_DEFAULT_HOTNESS
+        else f"hybrid@{hotness:g}"
+    )
+    if source == "static":
+        key += _STATIC_SUFFIX
+    return key
 
 
 def fetch_scheme_base(scheme: str) -> str:
@@ -117,14 +159,46 @@ def normalize_scheme_key(key: str) -> str:
         )
     hotness = parse_hybrid_key(key)
     if hotness is not None:
-        return hybrid_key(hotness)
+        return hybrid_key(hotness, hybrid_profile_source(key) or "trace")
     if key in _SIMPLE_KEYS or key in _stream_names():
         return key
-    raise UnknownSchemeError(
+    message = (
         f"unknown scheme {key!r} "
         f"(known: {', '.join(known_scheme_keys())}; "
-        "hybrid also accepts hybrid@T with T in [0, 1])"
+        "hybrid also accepts hybrid@T[:static] with T in [0, 1])"
     )
+    suggestion = nearest_scheme_key(key)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    raise UnknownSchemeError(message)
+
+
+def nearest_scheme_key(
+    key: str, candidates: Optional[tuple] = None
+) -> Optional[str]:
+    """Closest known key to a typo, suffixes preserved when they parse.
+
+    ``hybird@0.3`` matches the ``hybrid`` stem on its own stem, then
+    gets the original ``@0.3``/``:static`` decoration re-attached so the
+    suggestion is directly usable.  ``candidates`` restricts the search
+    (the fetch layer passes its organization names).
+    """
+    import difflib
+
+    stem, sep, rest = key.partition("@")
+    if candidates is None:
+        candidates = known_scheme_keys()
+    matches = difflib.get_close_matches(stem, candidates, n=1, cutoff=0.6)
+    if not matches:
+        return None
+    match = matches[0]
+    if sep and match == "hybrid":
+        try:
+            parse_hybrid_key(match + sep + rest)
+        except UnknownSchemeError:
+            return match
+        return match + sep + rest
+    return match
 
 
 def scheme_factory(key: str):
@@ -163,7 +237,9 @@ def scheme_factory(key: str):
     if hotness is not None:
         from repro.compression.adaptive import HybridScheme
 
-        return HybridScheme(hotness)
+        return HybridScheme(
+            hotness, source=hybrid_profile_source(key) or "trace"
+        )
     from repro.compression.alphabets import SIX_STREAM_CONFIGS
 
     for config in SIX_STREAM_CONFIGS:

@@ -270,6 +270,81 @@ def adaptive_rows(
     return headers, rows
 
 
+# -------------------------------------------- static-profile extension
+def static_rows(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: Optional[int] = None,
+) -> Rows:
+    """Profile-free hybrid vs the trace-profiled one, per benchmark.
+
+    ``hybrid:static`` picks its hot set from the compile-time heat
+    estimate (:func:`repro.analysis.freq.static_heat_profile`) — zero
+    trace runs before compression.  ``gap%`` is the static hybrid's
+    fetch-cycle overhead relative to the trace-profiled hybrid on the
+    same trace (0 = the estimate recovered the trace's hot set
+    exactly), ``rank_corr`` the Spearman correlation between the two
+    heat profiles, and the bound columns the sound static bracket
+    around the static hybrid's simulated cycles.
+    """
+    from repro.analysis.cachebound import cycle_bounds
+    from repro.analysis.freq import static_heat_profile
+    from repro.compression.adaptive import heat_profile
+    from repro.core.sweep import expand_grid, run_sweep
+    from repro.utils.stats import spearman
+
+    headers = [
+        "benchmark", "trace_cycles", "static_cycles", "gap%",
+        "rank_corr", "bound_lo", "bound_hi",
+    ]
+    grid = expand_grid(
+        ("hybrid",), hotness_sources=("trace", "static")
+    )
+    rows = []
+    for name in _names(benchmarks):
+        study = study_for(name, scale)
+        by_scheme = {
+            metrics.scheme: metrics
+            for metrics in run_sweep(name, grid, scale=scale)
+        }
+        trace_hybrid = by_scheme["hybrid"]
+        static_hybrid = by_scheme["hybrid:static"]
+        counts = heat_profile(
+            study.run.block_trace, len(study.compiled.image)
+        )
+        bounds = cycle_bounds(
+            study.compressed("hybrid:static"),
+            counts,
+            FetchConfig.for_scheme("hybrid:static"),
+        )
+        rows.append(
+            [
+                name,
+                trace_hybrid.cycles,
+                static_hybrid.cycles,
+                100.0
+                * (static_hybrid.cycles - trace_hybrid.cycles)
+                / max(1, trace_hybrid.cycles),
+                spearman(
+                    static_heat_profile(study.compiled.image), counts
+                ),
+                bounds.lower,
+                bounds.upper,
+            ]
+        )
+    rows.append(
+        [
+            "average",
+            int(mean(r[1] for r in rows)),
+            int(mean(r[2] for r in rows)),
+            mean(r[3] for r in rows),
+            mean(r[4] for r in rows),
+            int(mean(r[5] for r in rows)),
+            int(mean(r[6] for r in rows)),
+        ]
+    )
+    return headers, rows
+
+
 # ----------------------------------------------------------- registry
 #: All six stream configurations (the Figure 3 search space).
 _STREAM_KEYS = tuple(cfg.name for cfg in SIX_STREAM_CONFIGS)
@@ -321,6 +396,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             adaptive_rows, "benchmarks/test_adaptive_schemes.py",
             schemes=("full", "context", "hybrid"),
             fetch_schemes=("compressed", "hybrid"),
+        ),
+        Experiment(
+            "static", "Profile-free (static-heat) hybrid compression",
+            static_rows, "benchmarks/test_static_analysis.py",
+            schemes=("full", "context", "hybrid", "hybrid:static"),
+            fetch_schemes=("hybrid", "hybrid:static"),
         ),
         Experiment(
             "fig14", "Memory-bus bit flips",

@@ -29,6 +29,7 @@ from repro import runtime
 from repro.compiler import CompiledProgram
 from repro.compression.alphabets import SIX_STREAM_CONFIGS
 from repro.compression.registry import (
+    hybrid_profile_source,
     normalize_scheme_key,
     parse_hybrid_key,
     scheme_factory as _scheme_factory,  # noqa: F401 - re-exported name
@@ -130,7 +131,10 @@ class ProgramStudy:
         trace as its heat profile.  The trace is a pure function of the
         (benchmark, scale, source-fingerprint) triple the store digests
         already key on, so the compressed artifact caches under the
-        normalized scheme key alone.
+        normalized scheme key alone.  ``:static`` hybrid keys substitute
+        the compile-time heat estimate instead — the trace stage is
+        never touched, which the ``static-profile-zero-trace`` invariant
+        verifies via stage metrics.
         """
         scheme_key = normalize_scheme_key(scheme_key)
         if scheme_key not in self._images:
@@ -138,13 +142,21 @@ class ProgramStudy:
             def compute() -> CompressedImage:
                 scheme = _scheme_factory(scheme_key)
                 if parse_hybrid_key(scheme_key) is not None:
-                    from repro.compression.adaptive import heat_profile
+                    if hybrid_profile_source(scheme_key) == "static":
+                        from repro.analysis.freq import static_heat_profile
 
-                    scheme.with_profile(
-                        heat_profile(
-                            self.run.block_trace, len(self.compiled.image)
+                        scheme.with_profile(
+                            static_heat_profile(self.compiled.image)
                         )
-                    )
+                    else:
+                        from repro.compression.adaptive import heat_profile
+
+                        scheme.with_profile(
+                            heat_profile(
+                                self.run.block_trace,
+                                len(self.compiled.image),
+                            )
+                        )
                 return scheme.compress(self.compiled.image)
 
             self._images[scheme_key] = self._stage(

@@ -32,8 +32,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import runtime
 from repro.compression.registry import (
+    HYBRID_PROFILE_SOURCES,
     fetch_scheme_base,
     hybrid_key,
+    hybrid_profile_source,
     parse_hybrid_key,
 )
 from repro.errors import ConfigurationError
@@ -89,6 +91,7 @@ def expand_grid(
     l0_capacities: Sequence[int] = (32,),
     bus_widths: Sequence[int] = (8,),
     hotness_thresholds: Sequence[float] = (),
+    hotness_sources: Sequence[str] = ("trace",),
     scaled: bool = True,
 ) -> List[FetchConfig]:
     """Cross-product of the axes, as an ordered deduplicated config list.
@@ -103,10 +106,17 @@ def expand_grid(
     ``hotness_thresholds`` is the hybrid axis: each bare ``hybrid``
     entry in ``schemes`` expands into one ``hybrid@T`` point per
     threshold (explicit ``hybrid@T`` entries pass through unchanged).
-    Hybrid points share the Compressed defaults — same geometry, and
-    the L0 axis applies (their cold majority decompresses through the
-    buffer).
+    ``hotness_sources`` crosses every expanded hybrid point with the
+    profile providers (``trace`` and/or ``static``).  Hybrid points
+    share the Compressed defaults — same geometry, and the L0 axis
+    applies (their cold majority decompresses through the buffer).
     """
+    for source in hotness_sources:
+        if source not in HYBRID_PROFILE_SOURCES:
+            raise ConfigurationError(
+                f"unknown hotness source {source!r} "
+                f"(expected one of {HYBRID_PROFILE_SOURCES})"
+            )
     expanded: List[str] = []
     for scheme in schemes:
         scheme = normalize_fetch_scheme(scheme)
@@ -114,12 +124,26 @@ def expand_grid(
             raise ConfigurationError(
                 "the ideal organization has no fetch config to sweep"
             )
-        if scheme == "hybrid" and hotness_thresholds:
-            expanded.extend(
-                hybrid_key(float(t)) for t in hotness_thresholds
-            )
-        else:
+        hotness = parse_hybrid_key(scheme)
+        if hotness is None:
             expanded.append(scheme)
+            continue
+        thresholds = (
+            tuple(float(t) for t in hotness_thresholds)
+            if scheme in ("hybrid", "hybrid:static") and hotness_thresholds
+            else (hotness,)
+        )
+        base_source = hybrid_profile_source(scheme)
+        sources = (
+            hotness_sources
+            if base_source == "trace"
+            else (base_source,)
+        )
+        expanded.extend(
+            hybrid_key(t, source)
+            for t in thresholds
+            for source in sources
+        )
     configs: List[FetchConfig] = []
     seen = set()
     for scheme in expanded:
@@ -290,10 +314,11 @@ def _shard_pending(
         image_key = fetch_image_key(scheme)
         sid = compress_id(benchmark, image_key, scale)
         if sid not in graph:
-            # Hybrid recompression reads the trace (its heat profile).
+            # Trace-profiled hybrid recompression reads the trace (its
+            # heat profile); ``:static`` hybrids need compile only.
             deps = (
                 (cid, tid)
-                if parse_hybrid_key(image_key) is not None
+                if hybrid_profile_source(image_key) == "trace"
                 else (cid,)
             )
             graph[sid] = TaskSpec(

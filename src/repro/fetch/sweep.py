@@ -46,7 +46,10 @@ the predictor machine never observes the compressed image (only the
 block metadata of the underlying program), so one grid that mixes
 ``base``/``tailored``/``compressed``/``hybrid`` points over the same
 program computes each distinct predictor component once, not once per
-scheme.  Hybrid points charge each block at its ATT scheme tag
+scheme.  Hybrid keys carry their profile source (``hybrid@T`` vs
+``hybrid@T:static``) into the image key, so trace-profiled and
+static-profiled points in one grid sweep different images under the
+same machinery.  Hybrid points charge each block at its ATT scheme tag
 ("tailored" hot rows, "compressed" cold rows) and probe the L0 only for
 cold blocks; the constant-discount combine stays exact because the
 correct/incorrect discounts ``dh``/``dm`` are equal across the two tag

@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.compression.registry import hybrid_key, parse_hybrid_key
+from repro.compression.registry import (
+    hybrid_key,
+    hybrid_profile_source,
+    nearest_scheme_key,
+    parse_hybrid_key,
+)
 from repro.errors import ConfigurationError
 
 STAGES = ("compile", "trace", "compress", "fetch", "sweep")
@@ -41,13 +46,25 @@ FETCH_IMAGE_KEYS = {
 
 
 def normalize_fetch_scheme(scheme: str) -> str:
-    """Canonical key for a fetch organization; raises on unknown ones."""
+    """Canonical key for a fetch organization; raises on unknown ones.
+
+    The error lists the accepted organizations and, for a near-miss
+    (``hybird@0.3``), suggests the closest valid key.
+    """
     if scheme in FETCH_IMAGE_KEYS:
         return scheme
     hotness = parse_hybrid_key(scheme)
     if hotness is not None:
-        return hybrid_key(hotness)
-    raise ConfigurationError(f"unknown fetch scheme {scheme!r}")
+        return hybrid_key(hotness, hybrid_profile_source(scheme) or "trace")
+    known = tuple(FETCH_IMAGE_KEYS) + ("hybrid",)
+    message = (
+        f"unknown fetch scheme {scheme!r} (known: {', '.join(known)}; "
+        "hybrid also accepts hybrid@T[:static])"
+    )
+    suggestion = nearest_scheme_key(scheme, known)
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    raise ConfigurationError(message)
 
 
 def fetch_image_key(scheme: str) -> str:
@@ -126,11 +143,13 @@ def build_study_graph(
             wanted.setdefault(fetch_image_key(fetch_scheme))
         for scheme in wanted:
             sid = compress_id(name, scheme, scale)
-            # Hybrid recompression consumes the trace as its heat
-            # profile, so its compress node gains the trace edge.
+            # Trace-profiled hybrid recompression consumes the trace as
+            # its heat profile, so its compress node gains the trace
+            # edge; ``:static`` hybrids estimate heat from the image
+            # alone and depend only on compile.
             deps = (
                 (cid, tid)
-                if parse_hybrid_key(scheme) is not None
+                if hybrid_profile_source(scheme) == "trace"
                 else (cid,)
             )
             graph[sid] = TaskSpec(

@@ -58,3 +58,41 @@ def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     if total_weight == 0:
         raise ValueError("weights sum to zero")
     return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def _average_ranks(values: Sequence[float]) -> list:
+    """1-based ranks; tied values share the mean of their rank span."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        shared = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = shared
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (average ranks for ties).
+
+    Returns 0.0 when either side is constant (correlation undefined);
+    inputs must have equal, non-zero length.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("inputs must have equal length")
+    if not xs:
+        raise ValueError("spearman of empty sequences")
+    rx = _average_ranks(xs)
+    ry = _average_ranks(ys)
+    mx = sum(rx) / len(rx)
+    my = sum(ry) / len(ry)
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)

@@ -26,6 +26,7 @@ from repro.compression.registry import (
     HYBRID_DEFAULT_HOTNESS,
     UnknownSchemeError,
     hybrid_key,
+    hybrid_profile_source,
     normalize_scheme_key,
     parse_hybrid_key,
     scheme_factory,
@@ -70,6 +71,58 @@ class TestRegistry:
         assert isinstance(hybrid, HybridScheme)
         assert hybrid.hotness == 0.75
         assert hybrid.name == "hybrid@0.75"
+
+    def test_static_suffix_parses_and_folds(self):
+        assert parse_hybrid_key("hybrid:static") == HYBRID_DEFAULT_HOTNESS
+        assert parse_hybrid_key("hybrid@0.5:static") == 0.5
+        assert normalize_scheme_key("hybrid:static") == "hybrid:static"
+        assert (
+            normalize_scheme_key(f"hybrid@{HYBRID_DEFAULT_HOTNESS}:static")
+            == "hybrid:static"
+        )
+        assert (
+            normalize_scheme_key("hybrid@0.5:static") == "hybrid@0.5:static"
+        )
+
+    def test_profile_source_classification(self):
+        assert hybrid_profile_source("hybrid") == "trace"
+        assert hybrid_profile_source("hybrid@0.5") == "trace"
+        assert hybrid_profile_source("hybrid:static") == "static"
+        assert hybrid_profile_source("hybrid@0.5:static") == "static"
+        assert hybrid_profile_source("tailored") is None
+        assert hybrid_key(0.5, "static") == "hybrid@0.5:static"
+        assert (
+            hybrid_key(HYBRID_DEFAULT_HOTNESS, "static") == "hybrid:static"
+        )
+        with pytest.raises(UnknownSchemeError):
+            hybrid_key(0.5, "psychic")
+
+    def test_factory_builds_static_hybrid(self):
+        scheme = scheme_factory("hybrid@0.75:static")
+        assert isinstance(scheme, HybridScheme)
+        assert scheme.hotness == 0.75
+        assert scheme.source == "static"
+        assert scheme.name == "hybrid@0.75:static"
+
+    @pytest.mark.parametrize(
+        "key", ["hybrid@:static", "hybrid@1.5:static", "tailored:static"]
+    )
+    def test_malformed_static_keys_rejected(self, key):
+        with pytest.raises(UnknownSchemeError):
+            normalize_scheme_key(key)
+
+    def test_unknown_key_error_lists_known_and_suggests(self):
+        with pytest.raises(UnknownSchemeError) as exc:
+            normalize_scheme_key("hybird@0.3")
+        message = str(exc.value)
+        assert "did you mean 'hybrid@0.3'?" in message
+        for known in ("base", "byte", "full", "tailored", "context"):
+            assert known in message
+
+    def test_typo_without_close_match_gets_no_suggestion(self):
+        with pytest.raises(UnknownSchemeError) as exc:
+            normalize_scheme_key("zstd")
+        assert "did you mean" not in str(exc.value)
 
 
 # ------------------------------------------------------------- hot sets

@@ -369,6 +369,59 @@ class TestAnalyzeCommand:
         with pytest.raises(SystemExit):
             main(["analyze", "--program", "compress", "--all"])
 
+    def test_analyze_json_is_deterministic_and_sorted(self, capsys):
+        args = ["analyze", "--program", "compress", "--scale", "2",
+                "--inject", "bad-branch", "--json"]
+        assert main(args) == 1
+        first = capsys.readouterr().out
+        assert main(args) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        diags = json.loads(first)["diagnostics"]
+        assert diags
+        rank = {"error": 0, "warning": 1, "info": 2}
+        keys = [
+            (rank[d["severity"]], d["program"], d["rule"],
+             d["block_id"] if d["block_id"] is not None else -1,
+             d["op_index"] if d["op_index"] is not None else -1,
+             d["scheme"] or "", d["block"] or "", d["message"],
+             d["hint"] or "")
+            for d in diags
+        ]
+        assert keys == sorted(keys)
+
+    def test_analyze_bounds_table(self, capsys):
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2",
+             "--bounds"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Static fetch-cycle bounds vs simulator" in out
+        assert "hybrid:static" in out
+
+    def test_analyze_bounds_json_brackets(self, capsys):
+        assert main(
+            ["analyze", "--program", "compress", "--scale", "2",
+             "--bounds", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["bounds"]
+        for entry in payload["bounds"]:
+            assert entry["bracketed"] is True
+            assert (
+                entry["lower_cycles"]
+                <= entry["simulated_cycles"]
+                <= entry["upper_cycles"]
+            )
+
+    def test_analyze_bounds_rejects_server_mode(self, capsys):
+        assert main(
+            ["analyze", "--program", "compress", "--bounds",
+             "--via-server"]
+        ) == 2
+        assert "--bounds" in capsys.readouterr().err
+
     def test_analyze_rejects_malformed_gate_env(
         self, capsys, monkeypatch
     ):
@@ -433,3 +486,34 @@ class TestSweepCommand:
     def test_sweep_unknown_benchmark_exits_two(self, capsys):
         assert main(["sweep", "warp-drive", "--scale", "2"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["1.5", "0", "-0.2"])
+    def test_sweep_out_of_range_hotness_exits_two(self, capsys, value):
+        assert main(
+            ["sweep", "compress", "--scale", "2",
+             "--scheme", "hybrid", "--hotness", value]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--hotness must lie in (0, 1]" in err
+        assert value.lstrip("-").rstrip("0").rstrip(".") in err or value in err
+
+    def test_sweep_scheme_typo_suggests_fix(self, capsys):
+        assert main(
+            ["sweep", "compress", "--scale", "2",
+             "--scheme", "hybird@0.3"]
+        ) == 2
+        assert "did you mean 'hybrid@0.3'?" in capsys.readouterr().err
+
+    def test_sweep_hotness_source_axis(self, capsys, fresh_cache):
+        assert main(
+            ["sweep", "compress", "--scale", "2",
+             "--scheme", "hybrid", "--hotness", "0.5",
+             "--hotness-source", "trace", "--hotness-source", "static",
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        schemes = {
+            entry["config"]["scheme"]
+            for entry in payload["sweep"]["results"]
+        }
+        assert schemes == {"hybrid@0.5", "hybrid@0.5:static"}

@@ -104,7 +104,8 @@ class TestFigureRows:
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
-            "fig5", "fig7", "fig10", "fig13", "fig14", "adaptive"
+            "fig5", "fig7", "fig10", "fig13", "fig14", "adaptive",
+            "static",
         }
         for experiment in EXPERIMENTS.values():
             assert experiment.bench.startswith("benchmarks/")
